@@ -1,0 +1,181 @@
+"""EXP-1 ("Table 1"): resource summary for every algorithm.
+
+One row per algorithm: rounds per batch (measured vs the O(1/phi)
+claim), peak total memory (measured vs the theorem's ~O(n) class
+bound), and the quality metric of the maintained solution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_churn, standard_config, summarize_phases
+from repro.analysis import (
+    connectivity_total_memory_bound,
+    matching_memory_bound_dynamic,
+    matching_memory_bound_insert_only,
+    msf_approx_memory_bound,
+    print_table,
+    rounds_bound_per_batch,
+    size_estimation_memory_bound,
+)
+from repro.baselines import maximum_matching_size, msf_weight
+from repro.core import (
+    AKLYMatching,
+    ApproxMSF,
+    DynamicBipartiteness,
+    ExactMSFInsertOnly,
+    GreedyMatchingInsertOnly,
+    MatchingSizeEstimator,
+    MPCConnectivity,
+)
+from repro.streams import as_batches, planted_matching_insertions, weighted_insertions
+
+N = 256
+PHI = 0.5
+BATCH = 16
+ALPHA = 4.0
+
+
+def _connectivity_row():
+    alg = MPCConnectivity(standard_config(N, PHI, seed=1))
+    oracle = run_churn(alg, N, phases=30, batch_size=BATCH, seed=2,
+                       oracle=True)
+    stats = summarize_phases(alg)
+    ok = alg.num_components() == oracle.num_components()
+    return {
+        "algorithm": "connectivity (Thm 1.1)",
+        **stats,
+        "memory_bound": int(connectivity_total_memory_bound(N)),
+        "quality": "components exact" if ok else "MISMATCH",
+    }
+
+
+def _msf_exact_row():
+    alg = ExactMSFInsertOnly(standard_config(N, PHI, seed=3))
+    updates = weighted_insertions(N, 3 * N, max_weight=100, seed=4)
+    for batch in as_batches(updates, BATCH):
+        alg.apply_batch(batch)
+    ref = msf_weight(N, [(u.u, u.v, u.weight) for u in updates])
+    stats = summarize_phases(alg)
+    exact = abs(alg.msf_weight() - ref) < 1e-9
+    return {
+        "algorithm": "exact MSF ins-only (Thm 1.2i)",
+        **stats,
+        "memory_bound": int(connectivity_total_memory_bound(N)),
+        "quality": "weight exact" if exact else "MISMATCH",
+    }
+
+
+def _msf_approx_row():
+    eps = 0.25
+    alg = ApproxMSF(standard_config(N, PHI, seed=5), eps=eps,
+                    max_weight=100)
+    updates = weighted_insertions(N, 2 * N, max_weight=100, seed=6)
+    live = {}
+    for batch in as_batches(updates, BATCH):
+        alg.apply_batch(batch)
+        for up in batch:
+            live[up.edge] = up.weight
+    ref = msf_weight(N, [(u, v, w) for (u, v), w in live.items()])
+    est = alg.weight_estimate()
+    stats = summarize_phases(alg)
+    ok = ref - 1e-6 <= est <= (1 + eps) * ref + 1e-6
+    return {
+        "algorithm": "approx MSF eps=.25 (Thm 1.2ii)",
+        **stats,
+        "memory_bound": int(msf_approx_memory_bound(N, eps, 100)),
+        "quality": f"w/w* = {est / ref:.3f}" + ("" if ok else " VIOLATION"),
+    }
+
+
+def _bipartiteness_row():
+    alg = DynamicBipartiteness(standard_config(N, PHI, seed=7))
+    run_churn(alg, N, phases=15, batch_size=BATCH // 2, seed=8)
+    stats = summarize_phases(alg)
+    return {
+        "algorithm": "bipartiteness (Thm 7.3)",
+        **stats,
+        "memory_bound": int(3 * connectivity_total_memory_bound(N)),
+        "quality": f"bipartite={alg.is_bipartite()}",
+    }
+
+
+def _matching_rows():
+    rows = []
+    updates = planted_matching_insertions(N, size=N // 4, noise=N,
+                                          seed=9)
+    opt = maximum_matching_size(N, [u.edge for u in updates])
+
+    greedy = GreedyMatchingInsertOnly(standard_config(N, PHI, seed=10),
+                                      alpha=ALPHA)
+    for batch in as_batches(updates, BATCH):
+        greedy.apply_batch(batch)
+    stats = summarize_phases(greedy)
+    rows.append({
+        "algorithm": f"greedy matching a={ALPHA} (Thm 8.1)",
+        **stats,
+        "memory_bound": int(matching_memory_bound_insert_only(N, ALPHA)),
+        "quality": f"OPT/alg = {opt / max(1, greedy.matching_size()):.2f}",
+    })
+
+    akly = AKLYMatching(standard_config(N, PHI, seed=11), alpha=ALPHA)
+    for batch in as_batches(updates, BATCH):
+        akly.apply_batch(batch)
+    stats = summarize_phases(akly)
+    rows.append({
+        "algorithm": f"AKLY matching a={ALPHA} (Thm 8.2)",
+        **stats,
+        "memory_bound": int(matching_memory_bound_dynamic(N, ALPHA)),
+        "quality": f"OPT/alg = {opt / max(1, akly.matching_size()):.2f}",
+    })
+
+    for dynamic in (False, True):
+        est_alg = MatchingSizeEstimator(
+            standard_config(N, PHI, seed=12 + dynamic), alpha=ALPHA,
+            dynamic=dynamic,
+        )
+        for batch in as_batches(updates, BATCH):
+            est_alg.apply_batch(batch)
+        stats = summarize_phases(est_alg)
+        kind = "dyn" if dynamic else "ins"
+        rows.append({
+            "algorithm": f"size estimation {kind} a={ALPHA} (Thm 8.5/8.6)",
+            **stats,
+            "memory_bound": int(
+                size_estimation_memory_bound(N, ALPHA, dynamic)
+            ),
+            "quality": f"OPT/est = {opt / max(1.0, est_alg.estimate()):.2f}",
+        })
+    return rows
+
+
+def test_exp1_resource_summary(benchmark):
+    rows = [_connectivity_row(), _msf_exact_row(), _msf_approx_row(),
+            _bipartiteness_row()]
+    rows.extend(_matching_rows())
+    bound = rounds_bound_per_batch(PHI)
+    for row in rows:
+        row["rounds_bound"] = int(bound)
+    print_table(
+        rows,
+        columns=["algorithm", "phases", "rounds/batch(max)",
+                 "rounds_bound", "peak_memory", "memory_bound",
+                 "quality"],
+        title=f"EXP-1 resource summary (n={N}, phi={PHI}, batch={BATCH})",
+    )
+    # Theorem checks: constant rounds and memory within the class bound.
+    for row in rows:
+        assert row["rounds/batch(max)"] <= row["rounds_bound"], row
+        assert row["peak_memory"] <= row["memory_bound"], row
+        assert "MISMATCH" not in str(row["quality"])
+        assert "VIOLATION" not in str(row["quality"])
+
+    # Timed kernel: one connectivity phase on a fresh instance.
+    def one_phase():
+        alg = MPCConnectivity(standard_config(64, PHI, seed=99))
+        from repro.types import ins
+        alg.apply_batch([ins(i, i + 1) for i in range(16)])
+        return alg.num_components()
+
+    benchmark(one_phase)

@@ -1,0 +1,55 @@
+"""EXP-3 ("Fig 2"): query rounds -- maintained forest vs AGM static.
+
+Both process updates in O(1) rounds, but only the maintained-forest
+algorithm answers queries in O(1) rounds; the sketch-only baseline must
+run the O(log n) AGM contraction (design choice D1).  We sweep n on a
+path-plus-churn workload that forces multiple halving iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import standard_config
+from repro.analysis import agm_query_rounds_bound, print_table
+from repro.baselines import AGMStaticConnectivity
+from repro.core import MPCConnectivity
+from repro.streams import as_batches, path_insertions
+
+SIZES = [64, 128, 256, 512]
+
+
+def _query_rounds(n: int):
+    ours = MPCConnectivity(standard_config(n, seed=n))
+    agm = AGMStaticConnectivity(standard_config(n, seed=n + 1))
+    for batch in as_batches(path_insertions(n, seed=n), 16):
+        ours.apply_batch(batch)
+        agm.apply_batch(batch)
+    _, ours_query = ours.query_with_metrics()
+    _, agm_query = agm.query_with_metrics()
+    return {
+        "n": n,
+        "ours query rounds": ours_query.rounds,
+        "agm query rounds": agm_query.rounds,
+        "agm iterations": agm.stats["query_iterations"],
+        "agm bound O(log n)": int(agm_query_rounds_bound(n)),
+        "update rounds (ours)": ours.max_rounds(),
+        "update rounds (agm)": agm.max_rounds(),
+    }
+
+
+def test_exp3_query_rounds(benchmark):
+    rows = [_query_rounds(n) for n in SIZES]
+    print_table(rows, title="EXP-3 query rounds: maintained forest vs "
+                            "AGM static (path workload)")
+    ours_series = [row["ours query rounds"] for row in rows]
+    agm_series = [row["agm query rounds"] for row in rows]
+    # Ours is constant in n; AGM pays iterations every query.
+    assert max(ours_series) - min(ours_series) <= 2
+    assert all(a > o for a, o in zip(agm_series, ours_series))
+    assert all(row["agm iterations"] >= 2 for row in rows)
+    # Both update in constant rounds (the paper keeps this property).
+    assert all(row["update rounds (ours)"] <= 80 for row in rows)
+    assert all(row["update rounds (agm)"] <= 20 for row in rows)
+
+    benchmark(lambda: _query_rounds(64))

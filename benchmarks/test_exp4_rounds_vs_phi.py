@@ -1,0 +1,55 @@
+"""EXP-4 ("Fig 3"): rounds per batch as a function of phi and n.
+
+Theorem 6.7 promises O(1/phi) rounds per batch.  Two sweeps verify the
+shape: (a) rounds grow as phi shrinks (deeper aggregation trees on more,
+smaller machines); (b) for fixed phi, rounds are flat in n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_churn, standard_config
+from repro.analysis import print_table, rounds_bound_per_batch
+from repro.core import MPCConnectivity
+from repro.mpc import MPCConfig
+
+PHIS = [0.25, 0.33, 0.5, 0.67]
+SIZES = [64, 128, 256, 512]
+
+
+def _max_rounds(n: int, phi: float, seed: int) -> int:
+    alg = MPCConnectivity(MPCConfig(n=n, phi=phi, seed=seed))
+    run_churn(alg, n, phases=12, batch_size=8, seed=seed)
+    return max(p.rounds for p in alg.phases if p.batch_size > 0)
+
+
+def test_exp4_rounds_vs_phi(benchmark):
+    phi_rows = []
+    for phi in PHIS:
+        measured = _max_rounds(256, phi, seed=int(100 * phi))
+        phi_rows.append({
+            "phi": phi,
+            "rounds/batch(max)": measured,
+            "bound O(1/phi)": int(rounds_bound_per_batch(phi)),
+        })
+    print_table(phi_rows, title="EXP-4a rounds vs phi (n=256)")
+
+    n_rows = []
+    for n in SIZES:
+        n_rows.append({
+            "n": n,
+            "rounds/batch(max)": _max_rounds(n, 0.5, seed=n),
+        })
+    print_table(n_rows, title="EXP-4b rounds vs n (phi=0.5)")
+
+    # Shape: smaller phi never costs fewer rounds, and the bound holds.
+    series = [row["rounds/batch(max)"] for row in phi_rows]
+    assert series[0] >= series[-1]
+    for row in phi_rows:
+        assert row["rounds/batch(max)"] <= row["bound O(1/phi)"]
+    # Shape: constant in n for fixed phi.
+    n_series = [row["rounds/batch(max)"] for row in n_rows]
+    assert max(n_series) - min(n_series) <= 12
+
+    benchmark(lambda: _max_rounds(64, 0.5, seed=0))

@@ -1,0 +1,59 @@
+"""EXP-5 ("Fig 4"): batching speedup over single-update processing.
+
+The whole point of batch-dynamic MPC ([NO21] vs [ILMP19]): applying k
+updates in one phase costs O(1) rounds, while applying them one at a
+time costs k * O(1) rounds.  We replay identical streams both ways and
+report total rounds; the ratio should scale linearly with the batch
+size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import standard_config
+from repro.analysis import print_table
+from repro.core import MPCConnectivity
+from repro.streams import ChurnStream, as_batches, singleton_batches
+
+N = 128
+BATCH_SIZES = [2, 4, 8, 16, 32]
+
+
+def _total_rounds(batches, seed: int) -> int:
+    alg = MPCConnectivity(standard_config(N, seed=seed))
+    for batch in batches:
+        alg.apply_batch(batch)
+    return sum(p.rounds for p in alg.phases)
+
+
+def test_exp5_batch_speedup(benchmark):
+    stream = ChurnStream(N, seed=5, delete_fraction=0.3,
+                         target_edges=2 * N)
+    updates = [up for batch in stream.batches(16, 32) for up in batch]
+
+    single_rounds = _total_rounds(singleton_batches(updates), seed=1)
+    rows = []
+    for k in BATCH_SIZES:
+        batched_rounds = _total_rounds(as_batches(updates, k), seed=2)
+        rows.append({
+            "batch size k": k,
+            "total rounds (batched)": batched_rounds,
+            "total rounds (singleton)": single_rounds,
+            "speedup": single_rounds / batched_rounds,
+        })
+    print_table(rows, title=f"EXP-5 batching speedup "
+                            f"(n={N}, {len(updates)} updates)")
+
+    speedups = [row["speedup"] for row in rows]
+    # Shape: speedup grows ~linearly with k.  Both regimes are O(1)
+    # rounds per phase, but the batched constant is several times the
+    # singleton constant (the deletion path always runs in full), so the
+    # asymptotic speedup is k times the constant ratio -- what matters
+    # is monotone, roughly proportional growth.
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] >= 2 * speedups[1], \
+        "speedup must keep growing with k (not saturate)"
+    assert speedups[-1] >= 4
+
+    benchmark(lambda: _total_rounds(as_batches(updates[:64], 16), seed=3))

@@ -1,0 +1,84 @@
+"""EXP-6 ("Table 2"): minimum spanning forest quality and cost.
+
+(i) exact MSF on insertion-only streams must equal the offline MST
+bit-for-bit; (ii) the (1+eps) dynamic variant's weight estimate and
+assembled forest must sit inside the [w*, (1+eps) w*] window for every
+eps, with rounds constant throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import standard_config, summarize_phases
+from repro.analysis import print_table
+from repro.baselines import msf_weight
+from repro.core import ApproxMSF, ExactMSFInsertOnly
+from repro.streams import ChurnStream, as_batches, weighted_insertions
+
+N = 128
+EPSILONS = [0.1, 0.25, 0.5]
+
+
+def _exact_row():
+    alg = ExactMSFInsertOnly(standard_config(N, seed=6))
+    updates = weighted_insertions(N, 4 * N, max_weight=100, seed=7)
+    for batch in as_batches(updates, 16):
+        alg.apply_batch(batch)
+    ref = msf_weight(N, [(u.u, u.v, u.weight) for u in updates])
+    stats = summarize_phases(alg)
+    return {
+        "variant": "exact (insert-only)",
+        "eps": "-",
+        "w*": ref,
+        "w(alg)": alg.msf_weight(),
+        "w/w*": alg.msf_weight() / ref,
+        "swap passes(max)": alg.stats["max_passes"],
+        **stats,
+    }
+
+
+def _approx_row(eps: float):
+    alg = ApproxMSF(standard_config(N, seed=8), eps=eps, max_weight=64)
+    stream = ChurnStream(N, seed=9, delete_fraction=0.25,
+                         target_edges=3 * N, weights=(1, 64))
+    live = {}
+    for batch in stream.batches(15, 10):
+        alg.apply_batch(batch)
+        for up in batch:
+            if up.is_insert:
+                live[up.edge] = up.weight
+            else:
+                live.pop(up.edge, None)
+    ref = msf_weight(N, [(u, v, w) for (u, v), w in live.items()])
+    forest = alg.query_forest()
+    stats = summarize_phases(alg)
+    return {
+        "variant": "(1+eps) dynamic",
+        "eps": eps,
+        "w*": ref,
+        "w(alg)": alg.weight_estimate(),
+        "w/w*": alg.weight_estimate() / ref,
+        "forest edges": len(forest.edges),
+        **stats,
+    }
+
+
+def test_exp6_msf(benchmark):
+    rows = [_exact_row()] + [_approx_row(eps) for eps in EPSILONS]
+    print_table(rows, title=f"EXP-6 MSF quality (n={N})")
+
+    assert rows[0]["w/w*"] == pytest.approx(1.0), "exact MSF must be exact"
+    for row, eps in zip(rows[1:], EPSILONS):
+        assert 1.0 - 1e-9 <= row["w/w*"] <= 1 + eps + 1e-9, row
+    # Rounds stay constant (a few passes for the exact variant).
+    assert all(row["rounds/batch(max)"] <= 200 for row in rows)
+
+    def kernel():
+        alg = ExactMSFInsertOnly(standard_config(64, seed=10))
+        for batch in as_batches(
+                weighted_insertions(64, 128, max_weight=50, seed=11), 16):
+            alg.apply_batch(batch)
+        return alg.msf_weight()
+
+    benchmark(kernel)

@@ -1,0 +1,95 @@
+"""EXP-7 ("Table 3"): approximate matching -- ratio and memory vs alpha.
+
+Theorem 1.3's two regimes: insertion-only greedy with ~O(n/alpha)
+memory, and the AKLY sparsifier with ~O(max(n^2/alpha^3, n/alpha)) for
+dynamic streams.  Sweeping alpha shows the paper's trade-off: memory
+shrinks polynomially in alpha while the measured approximation ratio
+stays within the O(alpha) envelope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import standard_config
+from repro.analysis import (
+    matching_memory_bound_dynamic,
+    matching_memory_bound_insert_only,
+    print_table,
+)
+from repro.baselines import maximum_matching_size
+from repro.core import AKLYMatching, GreedyMatchingInsertOnly
+from repro.streams import as_batches, planted_matching_insertions
+from repro.types import dele
+
+N = 256
+ALPHAS = [2.0, 4.0, 8.0]
+
+
+def _workload():
+    updates = planted_matching_insertions(N, size=N // 4, noise=N // 2,
+                                          seed=7)
+    opt = maximum_matching_size(N, [u.edge for u in updates])
+    return updates, opt
+
+
+def test_exp7_matching(benchmark):
+    updates, opt = _workload()
+    rows = []
+    for alpha in ALPHAS:
+        greedy = GreedyMatchingInsertOnly(standard_config(N, seed=1),
+                                          alpha=alpha)
+        for batch in as_batches(updates, 16):
+            greedy.apply_batch(batch)
+        rows.append({
+            "algorithm": "greedy (ins-only)",
+            "alpha": alpha,
+            "OPT": opt,
+            "alg": greedy.matching_size(),
+            "OPT/alg": opt / max(1, greedy.matching_size()),
+            "memory": greedy.total_memory_words(),
+            "memory_bound": int(
+                matching_memory_bound_insert_only(N, alpha)
+            ),
+        })
+
+        akly = AKLYMatching(standard_config(N, seed=2), alpha=alpha)
+        for batch in as_batches(updates, 16):
+            akly.apply_batch(batch)
+        # Exercise the dynamic path: delete half the noise edges.
+        noise_deletes = [dele(u.u, u.v) for u in updates[::3]]
+        for batch in as_batches(noise_deletes, 16):
+            akly.apply_batch(batch)
+        remaining = {u.edge for u in updates} - \
+            {d.edge for d in noise_deletes}
+        opt_after = maximum_matching_size(N, remaining)
+        rows.append({
+            "algorithm": "AKLY (dynamic)",
+            "alpha": alpha,
+            "OPT": opt_after,
+            "alg": akly.matching_size(),
+            "OPT/alg": opt_after / max(1, akly.matching_size()),
+            "memory": akly.total_memory_words(),
+            "memory_bound": int(matching_memory_bound_dynamic(N, alpha)),
+        })
+    print_table(rows, title=f"EXP-7 matching ratio & memory vs alpha "
+                            f"(n={N})")
+
+    for row in rows:
+        assert row["alg"] >= 1
+        assert row["OPT/alg"] <= 8 * row["alpha"], row
+        assert row["memory"] <= row["memory_bound"], row
+    # Memory monotonically shrinks with alpha within each family.
+    for family in ("greedy (ins-only)", "AKLY (dynamic)"):
+        trace = [row["memory"] for row in rows
+                 if row["algorithm"] == family]
+        assert all(b < a for a, b in zip(trace, trace[1:]))
+
+    def kernel():
+        alg = AKLYMatching(standard_config(64, seed=3), alpha=4.0)
+        for batch in as_batches(
+                planted_matching_insertions(64, 16, noise=32, seed=4), 16):
+            alg.apply_batch(batch)
+        return alg.matching_size()
+
+    benchmark(kernel)

@@ -1,0 +1,66 @@
+"""EXP-8 ("Table 4"): matching-size estimation accuracy and memory.
+
+Theorems 8.5/8.6: an O(alpha) estimate of the maximum matching size in
+~O(n/alpha^2) (insertion-only) or ~O(n^2/alpha^4) (dynamic) memory.  We
+sweep alpha and the planted matching size; the estimate must track OPT
+within the envelope while the Tester footprint shrinks with alpha.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import standard_config
+from repro.analysis import print_table, size_estimation_memory_bound
+from repro.core import MatchingSizeEstimator
+from repro.streams import as_batches, planted_matching_insertions
+
+N = 256
+ALPHAS = [2.0, 4.0]
+PLANTED = [16, 32, 64]
+
+
+def _estimate(alpha: float, dynamic: bool, size: int, seed: int):
+    alg = MatchingSizeEstimator(standard_config(N, seed=seed),
+                                alpha=alpha, dynamic=dynamic)
+    updates = planted_matching_insertions(N, size=size, noise=size,
+                                          seed=seed)
+    for batch in as_batches(updates, 16):
+        alg.apply_batch(batch)
+    return alg
+
+
+def test_exp8_size_estimation(benchmark):
+    rows = []
+    for dynamic in (False, True):
+        for alpha in ALPHAS:
+            for size in PLANTED:
+                alg = _estimate(alpha, dynamic, size,
+                                seed=int(alpha) * 100 + size)
+                est = alg.estimate()
+                rows.append({
+                    "stream": "dynamic" if dynamic else "ins-only",
+                    "alpha": alpha,
+                    "OPT>=": size,
+                    "estimate": est,
+                    "OPT/est": size / max(est, 1.0),
+                    "est/OPT": est / size,
+                    "memory": alg.total_memory_words(),
+                    "memory_bound": int(size_estimation_memory_bound(
+                        N, alpha, dynamic)),
+                })
+    print_table(rows, title=f"EXP-8 matching size estimation (n={N})")
+
+    for row in rows:
+        assert row["OPT/est"] <= 8 * row["alpha"], row
+        assert row["est/OPT"] <= 8 * row["alpha"], row
+        assert row["memory"] <= row["memory_bound"], row
+    # Estimates grow with the planted matching (monotone signal).
+    for dynamic in ("ins-only", "dynamic"):
+        for alpha in ALPHAS:
+            trace = [row["estimate"] for row in rows
+                     if row["stream"] == dynamic
+                     and row["alpha"] == alpha]
+            assert trace[-1] >= trace[0]
+
+    benchmark(lambda: _estimate(4.0, False, 16, seed=0).estimate())

@@ -1,0 +1,67 @@
+"""EXP-9 (ablation D3): sketch columns vs deletion recovery failures.
+
+The paper keeps t = O(log n) independent sketches per vertex so that
+batch deletions can rerun the AGM contraction w.h.p.  This ablation
+sweeps t on a deletion-heavy workload and records (a) how often a
+fragment's replacement edge could not be recovered and (b) whether the
+component structure drifted from the oracle -- the empirical content of
+the "w.h.p." claim and of the paper's batch-size polylog overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import standard_config
+from repro.analysis import print_table
+from repro.baselines import DynamicConnectivityOracle
+from repro.core import MPCConnectivity
+from repro.streams import ChurnStream
+
+N = 128
+COLUMNS = [1, 2, 4, 8, 16]
+TRIALS = 3
+
+
+def _run(columns: int, seed: int):
+    alg = MPCConnectivity(standard_config(N, seed=seed), columns=columns)
+    oracle = DynamicConnectivityOracle(N)
+    stream = ChurnStream(N, seed=seed + 1, delete_fraction=0.45,
+                         target_edges=N)
+    for batch in stream.batches(25, 8):
+        alg.apply_batch(batch)
+        oracle.apply_batch(batch)
+    drift = alg.num_components() - oracle.num_components()
+    return alg.stats["sketch_failures"], drift
+
+
+def test_exp9_sketch_ablation(benchmark):
+    rows = []
+    for columns in COLUMNS:
+        failures = 0
+        drifts = 0
+        for trial in range(TRIALS):
+            f, d = _run(columns, seed=1000 * columns + trial)
+            failures += f
+            drifts += abs(d)
+        rows.append({
+            "columns t": columns,
+            "trials": TRIALS,
+            "recovery failures": failures,
+            "component drift": drifts,
+        })
+    print_table(rows, title=f"EXP-9 sketch-column ablation "
+                            f"(n={N}, deletion-heavy churn)")
+
+    # Shape: failures vanish once t reaches the O(log n) regime.
+    by_cols = {row["columns t"]: row for row in rows}
+    assert by_cols[16]["recovery failures"] == 0
+    assert by_cols[16]["component drift"] == 0
+    assert by_cols[8]["recovery failures"] <= \
+        max(1, by_cols[1]["recovery failures"])
+    # Failures and drift move together: a drifted run must have failed.
+    for row in rows:
+        if row["component drift"]:
+            assert row["recovery failures"] > 0
+
+    benchmark(lambda: _run(4, seed=7))

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (offline env lacks the wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""mpc-streaming: streaming graph algorithms in the MPC model.
+
+Reproduction of Czumaj, Mishra, Mukherjee, *Streaming Graph Algorithms
+in the Massively Parallel Computation Model* (PODC 2024).  See README.md
+for the tour and DESIGN.md for the system inventory.
+"""
+
+from repro._version import __version__
+from repro.types import Batch, ForestSolution, MatchingSolution, Op, Update, dele, ins
+
+__all__ = [
+    "__version__",
+    "Batch",
+    "ForestSolution",
+    "MatchingSolution",
+    "Op",
+    "Update",
+    "dele",
+    "ins",
+]

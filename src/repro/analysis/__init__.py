@@ -1,0 +1,31 @@
+"""Analysis helpers: theoretical bounds and table rendering."""
+
+from repro.analysis.tables import print_table, ratio, render_table
+from repro.analysis.theory import (
+    agm_query_rounds_bound,
+    batch_bound,
+    connectivity_total_memory_bound,
+    full_graph_total_memory_bound,
+    log2p,
+    matching_memory_bound_dynamic,
+    matching_memory_bound_insert_only,
+    msf_approx_memory_bound,
+    rounds_bound_per_batch,
+    size_estimation_memory_bound,
+)
+
+__all__ = [
+    "print_table",
+    "ratio",
+    "render_table",
+    "agm_query_rounds_bound",
+    "batch_bound",
+    "connectivity_total_memory_bound",
+    "full_graph_total_memory_bound",
+    "log2p",
+    "matching_memory_bound_dynamic",
+    "matching_memory_bound_insert_only",
+    "msf_approx_memory_bound",
+    "rounds_bound_per_batch",
+    "size_estimation_memory_bound",
+]

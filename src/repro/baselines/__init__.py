@@ -1,0 +1,34 @@
+"""Baselines and oracles: the comparators the paper's evaluation needs.
+
+* :class:`AGMStaticConnectivity` -- sketch-only, O(log n)-round queries
+  (the Section 4.1 starting point).
+* :class:`FullGraphConnectivity` -- prior-work Theta(n+m) total memory
+  ([ILMP19]/[NO21] regime).
+* :class:`DynamicConnectivityOracle` / :class:`UnionFind` -- exact test
+  oracles.
+* :mod:`repro.baselines.matching_offline` -- networkx-based exact
+  comparators for quality measurements.
+"""
+
+from repro.baselines.agm_static import AGMStaticConnectivity
+from repro.baselines.full_graph import FullGraphConnectivity
+from repro.baselines.matching_offline import (
+    component_sets,
+    greedy_matching_size,
+    is_bipartite,
+    maximum_matching_size,
+    msf_weight,
+)
+from repro.baselines.union_find import DynamicConnectivityOracle, UnionFind
+
+__all__ = [
+    "AGMStaticConnectivity",
+    "FullGraphConnectivity",
+    "component_sets",
+    "greedy_matching_size",
+    "is_bipartite",
+    "maximum_matching_size",
+    "msf_weight",
+    "DynamicConnectivityOracle",
+    "UnionFind",
+]

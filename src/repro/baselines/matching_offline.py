@@ -1,0 +1,61 @@
+"""Offline comparators computed with networkx (quality measurement only).
+
+The benchmarks measure approximation ratios against these exact/offline
+solutions; they are not part of any maintained algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.types import Edge
+
+
+def maximum_matching_size(n: int, edges: Iterable[Edge]) -> int:
+    """Exact maximum-cardinality matching size (blossom algorithm)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return len(nx.max_weight_matching(graph, maxcardinality=True))
+
+
+def greedy_matching_size(edges: Iterable[Edge]) -> int:
+    """Sequential greedy maximal matching (the 2-approx yardstick)."""
+    matched = set()
+    size = 0
+    for u, v in edges:
+        if u not in matched and v not in matched:
+            matched.add(u)
+            matched.add(v)
+            size += 1
+    return size
+
+
+def msf_weight(n: int, weighted_edges: Iterable[Tuple[int, int, float]]
+               ) -> float:
+    """Exact minimum spanning forest weight."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u, v, w in weighted_edges:
+        graph.add_edge(u, v, weight=w)
+    return float(sum(
+        data["weight"]
+        for _, _, data in nx.minimum_spanning_edges(graph, data=True)
+    ))
+
+
+def component_sets(n: int, edges: Iterable[Edge]) -> List[Tuple[int, ...]]:
+    """Sorted connected components of the (n, edges) graph."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return sorted(tuple(sorted(c)) for c in nx.connected_components(graph))
+
+
+def is_bipartite(n: int, edges: Iterable[Edge]) -> bool:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return nx.is_bipartite(graph)

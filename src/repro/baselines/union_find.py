@@ -1,0 +1,129 @@
+"""Union-find and a recompute-from-scratch dynamic connectivity oracle.
+
+These are *test oracles and comparators*, not MPC algorithms: plain
+sequential structures holding the whole graph.  The stress tests compare
+every maintained solution against
+:class:`DynamicConnectivityOracle`, and the benchmarks use it to verify
+solution quality cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.types import Edge, Update, canonical
+
+
+class UnionFind:
+    """Path-halving union-find over ``0 .. n-1``."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+
+class DynamicConnectivityOracle:
+    """Exact dynamic connectivity by storing the graph and recomputing.
+
+    Component labels are recomputed lazily (after any deletion) with a
+    BFS sweep; insertions fold into the cached union-find.  O(n + m) per
+    recompute -- fine for oracles.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+        self.adj: Dict[int, Set[int]] = {v: set() for v in range(n)}
+        self._uf: Optional[UnionFind] = UnionFind(n)
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    def apply(self, update: Update) -> None:
+        u, v = update.edge
+        if update.is_insert:
+            self.insert(u, v)
+        else:
+            self.delete(u, v)
+
+    def apply_batch(self, updates: Iterable[Update]) -> None:
+        batch = list(updates)
+        for up in batch:
+            if up.is_insert:
+                self.insert(*up.edge)
+        for up in batch:
+            if up.is_delete:
+                self.delete(*up.edge)
+
+    def insert(self, u: int, v: int) -> None:
+        if v in self.adj[u]:
+            raise ValueError(f"duplicate insert ({u}, {v})")
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+        self._num_edges += 1
+        if self._uf is not None:
+            self._uf.union(u, v)
+
+    def delete(self, u: int, v: int) -> None:
+        if v not in self.adj[u]:
+            raise ValueError(f"delete of missing edge ({u}, {v})")
+        self.adj[u].discard(v)
+        self.adj[v].discard(u)
+        self._num_edges -= 1
+        self._uf = None  # labels stale; recompute on demand
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def edges(self) -> List[Edge]:
+        out = []
+        for u, neighbors in self.adj.items():
+            for v in neighbors:
+                if u < v:
+                    out.append((u, v))
+        return sorted(out)
+
+    def _refresh(self) -> UnionFind:
+        if self._uf is None:
+            uf = UnionFind(self.n)
+            for u, neighbors in self.adj.items():
+                for v in neighbors:
+                    if u < v:
+                        uf.union(u, v)
+            self._uf = uf
+        return self._uf
+
+    def connected(self, u: int, v: int) -> bool:
+        return self._refresh().connected(u, v)
+
+    def num_components(self) -> int:
+        return self._refresh().components
+
+    def component_sets(self) -> List[Tuple[int, ...]]:
+        uf = self._refresh()
+        groups: Dict[int, List[int]] = {}
+        for v in range(self.n):
+            groups.setdefault(uf.find(v), []).append(v)
+        return sorted(tuple(sorted(g)) for g in groups.values())

@@ -1,0 +1,155 @@
+"""Common protocol and helpers for the batch-dynamic MPC algorithms.
+
+Every algorithm in :mod:`repro.core` follows the paper's phase model
+(Section 1.2): a *phase* receives one batch of edge updates, runs a
+constant number of MPC rounds, and leaves the maintained solution
+queryable.  :class:`BatchDynamicAlgorithm` fixes that surface --
+``apply_batch`` returning a :class:`~repro.mpc.metrics.PhaseMetrics`
+snapshot -- plus shared bookkeeping: batch-size enforcement, insertion/
+deletion ordering, and the update-stream validity guard.
+
+The validity guard deserves a note: the model *assumes* the adversary
+only deletes existing edges and never inserts duplicates (paper,
+Section 1.2).  The tracked edge set that enforces this is a harness
+aid, deliberately excluded from the memory ledger -- a production
+deployment would simply trust its ingestion layer, and counting it
+would spuriously inflate every ~O(n) memory measurement to O(m).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import BatchTooLargeError, InvalidUpdateError
+from repro.mpc.config import MPCConfig
+from repro.mpc.metrics import PhaseMetrics
+from repro.mpc.simulator import Cluster
+from repro.types import Batch, Edge, Update
+
+
+class UpdateValidator:
+    """Tracks the current edge set and rejects invalid updates.
+
+    Enforces the model's stream-validity assumptions; see the module
+    docstring for why this is outside the memory accounting.
+    """
+
+    def __init__(self, track: bool = True):
+        self.track = track
+        self._edges: Set[Edge] = set()
+        self._weights: Dict[Edge, float] = {}
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Set[Edge]:
+        return set(self._edges)
+
+    def weight_of(self, edge: Edge) -> float:
+        return self._weights[edge]
+
+    def check_and_apply(self, batch: Iterable[Update]) -> None:
+        """Validate a batch (insertions first, then deletions) and
+        record the post-batch edge set."""
+        if not self.track:
+            return
+        inserts: List[Update] = []
+        deletes: List[Update] = []
+        for update in batch:
+            (inserts if update.is_insert else deletes).append(update)
+        for update in inserts:
+            if update.edge in self._edges:
+                raise InvalidUpdateError(
+                    f"insert of existing edge {update.edge}"
+                )
+            self._edges.add(update.edge)
+            self._weights[update.edge] = update.weight
+        for update in deletes:
+            if update.edge not in self._edges:
+                raise InvalidUpdateError(
+                    f"delete of missing edge {update.edge}"
+                )
+            self._edges.discard(update.edge)
+            self._weights.pop(update.edge, None)
+
+
+class BatchDynamicAlgorithm:
+    """Base class for phase-structured MPC algorithms.
+
+    Subclasses implement :meth:`_process_batch` (already split into
+    insertions-then-deletions per the paper's w.l.o.g. reduction) and
+    :meth:`_register_memory` (refresh the ledger's view of their
+    distributed state).
+    """
+
+    #: Human-readable algorithm name for table rows.
+    name: str = "batch-dynamic"
+
+    def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
+                 batch_limit: Optional[int] = None, track_edges: bool = True):
+        self.config = config
+        self.cluster = cluster if cluster is not None else Cluster(config)
+        self.batch_limit = (batch_limit if batch_limit is not None
+                            else config.batch_bound)
+        self.validator = UpdateValidator(track=track_edges)
+        self.phases: List[PhaseMetrics] = []
+
+    # -- subclass hooks -------------------------------------------------
+    def _process_batch(self, inserts: List[Update],
+                       deletes: List[Update]) -> None:
+        raise NotImplementedError
+
+    def _register_memory(self) -> None:
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of edges of the maintained graph."""
+        return self.validator.num_edges
+
+    def apply_batch(self, updates: Iterable[Update]) -> PhaseMetrics:
+        """Process one phase: a batch of at most ``batch_limit`` updates.
+
+        Returns the phase's resource snapshot (rounds, words, memory
+        peak) and appends it to :attr:`phases`.
+        """
+        batch = updates if isinstance(updates, Batch) else Batch(updates)
+        if len(batch) > self.batch_limit:
+            raise BatchTooLargeError(len(batch), self.batch_limit)
+        self.validator.check_and_apply(batch)
+        label = f"{self.name}-phase-{len(self.phases)}"
+        self.cluster.begin_phase(label)
+        if len(batch) > 0:
+            # Route all update requests to a dedicated machine first
+            # (Section 1.2: a batch fits in one machine's memory, and
+            # moving it there is one aggregation tree, O(1/phi) rounds).
+            self.cluster.charge_gather(len(batch), category="route-updates")
+        self._process_batch(batch.insertions, batch.deletions)
+        self._register_memory()
+        self.cluster.metrics.note_memory_peak()
+        snapshot = self.cluster.end_phase(batch_size=len(batch))
+        self.phases.append(snapshot)
+        return snapshot
+
+    def apply_update(self, update: Update) -> PhaseMetrics:
+        """Single-update phase (the Section 5 setting)."""
+        return self.apply_batch([update])
+
+    # -- reporting helpers ----------------------------------------------
+    def rounds_per_phase(self) -> List[int]:
+        return [phase.rounds for phase in self.phases]
+
+    def max_rounds(self) -> int:
+        return max((phase.rounds for phase in self.phases), default=0)
+
+    def total_memory_words(self) -> int:
+        return self.cluster.metrics.total_memory
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        return self.cluster.metrics.memory_breakdown()

@@ -1,0 +1,185 @@
+"""O(alpha)-approximate matching in dynamic streams (Theorem 8.2).
+
+Implementation of the [AKLY16] sparsifier, driven in batches:
+
+* vertices are split into L / R by a pairwise hash (the bipartite
+  reduction loses a constant factor);
+* for each guess OPT' in {2^j}, L and R are hashed into ``beta =
+  ceil(OPT'/alpha)`` groups; each L-group is assigned ``gamma =
+  ceil(OPT'/alpha^2)`` random R-groups, giving ~O(max(n^2/alpha^3,
+  n/alpha)) *active pairs*;
+* every active pair (L_i, R_j) carries an L0-sampler of the edge set
+  E(L_i, R_j) (Lemma 3.6);
+* the sparsifier H consists of the samplers' current outcomes, and a
+  batch-dynamic maximal matching of H (Proposition 8.4 black box,
+  :class:`~repro.core.maximal_matching.BatchDynamicMaximalMatching`)
+  is maintained throughout.  Lemma 8.3: a maximal matching of H is an
+  O(alpha)-approximation of the maximum matching of G.
+
+Batch flow per phase (proof of Theorem 8.2): collect the affected active
+pairs, gather their current outcomes X, update their samplers, draw the
+new outcomes Y, and feed (delete X, insert Y) to the maximal matching --
+O(1) rounds for the sketch work plus the black box's O(log 1/kappa).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.api import BatchDynamicAlgorithm
+from repro.core.maximal_matching import BatchDynamicMaximalMatching
+from repro.errors import ConfigurationError
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import Cluster
+from repro.sketch.edge_coding import decode_index, encode_edge, num_pairs
+from repro.sketch.hashing import PairwiseHash
+from repro.sketch.l0_sampler import L0Sampler, SamplerRandomness
+from repro.types import Edge, MatchingSolution, Update
+
+
+class _Guess:
+    """The sparsifier state for one OPT' guess."""
+
+    def __init__(self, n: int, opt_guess: int, alpha: float,
+                 pair_columns: int, kappa: float,
+                 rng: np.random.Generator):
+        self.n = n
+        self.opt_guess = opt_guess
+        self.beta = max(1, math.ceil(opt_guess / alpha))
+        self.gamma = max(1, math.ceil(opt_guess / alpha ** 2))
+        self.side_hash = PairwiseHash(2, rng)
+        self.hash_l = PairwiseHash(self.beta, rng)
+        self.hash_r = PairwiseHash(self.beta, rng)
+        # gamma R-groups per L-group, uniform with replacement ([AKLY16]).
+        self.active: Set[Tuple[int, int]] = set()
+        for i in range(self.beta):
+            for j in rng.integers(0, self.beta, size=self.gamma):
+                self.active.add((i, int(j)))
+        self.randomness = SamplerRandomness(num_pairs(n), pair_columns, rng)
+        self.samplers: Dict[Tuple[int, int], L0Sampler] = {}
+        self.outcome: Dict[Tuple[int, int], Optional[int]] = {}
+        self.matching = BatchDynamicMaximalMatching(kappa=kappa)
+
+    # ------------------------------------------------------------------
+    def pair_of(self, u: int, v: int) -> Optional[Tuple[int, int]]:
+        """The active pair an edge belongs to, or None."""
+        su, sv = self.side_hash(u), self.side_hash(v)
+        if su == sv:
+            return None  # not an L-R edge under the bipartition
+        left, right = (u, v) if su == 0 else (v, u)
+        pair = (self.hash_l(left), self.hash_r(right))
+        return pair if pair in self.active else None
+
+    def apply_updates(self, updates: List[Update]) -> Tuple[int, int]:
+        """Process one batch; returns (|X|, |Y|) for round accounting."""
+        affected: Set[Tuple[int, int]] = set()
+        deltas: List[Tuple[Tuple[int, int], int, int]] = []
+        for up in updates:
+            pair = self.pair_of(up.u, up.v)
+            if pair is None:
+                continue
+            idx = encode_edge(self.n, up.u, up.v)
+            deltas.append((pair, idx, 1 if up.is_insert else -1))
+            affected.add(pair)
+        if not affected:
+            return (0, 0)
+
+        # X: the pre-update outcomes of the affected samplers.
+        removed: List[Edge] = []
+        for pair in affected:
+            old = self.outcome.get(pair)
+            if old is not None:
+                removed.append(decode_index(self.n, old))
+        # Update the sketches (linear, one broadcast).
+        for pair, idx, delta in deltas:
+            sampler = self.samplers.get(pair)
+            if sampler is None:
+                sampler = L0Sampler(self.randomness)
+                self.samplers[pair] = sampler
+            sampler.update(idx, delta)
+        # Y: the post-update outcomes.
+        inserted: List[Edge] = []
+        for pair in affected:
+            idx = self.samplers[pair].sample()
+            self.outcome[pair] = idx
+            if idx is not None:
+                inserted.append(decode_index(self.n, idx))
+        self.matching.apply_batch(inserts=inserted, deletes=removed)
+        return (len(removed), len(inserted))
+
+    @property
+    def words(self) -> int:
+        """Active-pair samplers + sparsifier matching state.
+
+        Counts every active pair at full sampler size (the paper
+        allocates them upfront; we allocate lazily for speed only).
+        """
+        per_sampler = 3 * self.randomness.columns * self.randomness.levels
+        return len(self.active) * per_sampler + self.matching.words
+
+
+class AKLYMatching(BatchDynamicAlgorithm):
+    """O(alpha)-approximate maximum matching under dynamic batches."""
+
+    name = "matching-akly"
+
+    def __init__(self, config: MPCConfig, alpha: float = 4.0,
+                 guesses: Optional[List[int]] = None,
+                 pair_columns: int = 5, kappa: float = 0.5,
+                 cluster: Optional[Cluster] = None,
+                 batch_limit: Optional[int] = None):
+        super().__init__(config, cluster=cluster, batch_limit=batch_limit)
+        if alpha < 1:
+            raise ConfigurationError("alpha must be at least 1")
+        self.alpha = alpha
+        if guesses is None:
+            guesses = []
+            guess = max(2, int(alpha))
+            while guess <= config.n:
+                guesses.append(guess)
+                guess *= 2
+            if not guesses:
+                guesses = [config.n]
+        self.guesses = [
+            _Guess(config.n, g, alpha, pair_columns, kappa, self.cluster.rng)
+            for g in guesses
+        ]
+
+    # ------------------------------------------------------------------
+    def _process_batch(self, inserts: List[Update],
+                       deletes: List[Update]) -> None:
+        updates = inserts + deletes
+        self.cluster.charge_broadcast(words=max(1, len(updates)),
+                                      category="batch")
+        max_xy = 0
+        mm_rounds = 0
+        for guess in self.guesses:
+            x_count, y_count = guess.apply_updates(updates)
+            max_xy = max(max_xy, x_count + y_count)
+            mm_rounds = max(mm_rounds, guess.matching.rounds_per_batch)
+        # Gather X/Y outcomes (O(1) rounds) + black-box matching rounds;
+        # the guesses run in parallel, so charge the maximum once.
+        self.cluster.charge_gather(total_words=max(1, max_xy),
+                                   category="sparsifier")
+        self.cluster.metrics.charge_rounds(mm_rounds, "maximal-matching")
+
+    # ------------------------------------------------------------------
+    def matching(self) -> MatchingSolution:
+        """The largest sparsifier matching over all OPT' guesses."""
+        best: List[Edge] = []
+        for guess in self.guesses:
+            edges = guess.matching.matching().edges
+            if len(edges) > len(best):
+                best = edges
+        return MatchingSolution(edges=best)
+
+    def matching_size(self) -> int:
+        return len(self.matching().edges)
+
+    # ------------------------------------------------------------------
+    def _register_memory(self) -> None:
+        total = sum(guess.words for guess in self.guesses)
+        self.cluster.metrics.register_memory("sparsifier", total)

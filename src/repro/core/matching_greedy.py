@@ -1,0 +1,75 @@
+"""O(alpha)-approximate matching, insertion-only (Theorem 8.1).
+
+The folklore bounded greedy: keep a matching M that is maximal among the
+edges seen so far *or* has reached size ``cap = ceil(c * n / alpha)``.
+While below the cap a maximal matching is a 2-approximation; once the
+cap is hit, OPT <= n/2 gives ratio <= alpha / (2c).  Total memory is
+~O(n / alpha) -- just the matching.
+
+Batch processing is one broadcast: machines report which batch edges
+have both endpoints unmatched, the dedicated machine absorbs them
+greedily, O(1) rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.api import BatchDynamicAlgorithm
+from repro.errors import ConfigurationError, InvalidUpdateError
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import Cluster
+from repro.types import MatchingSolution, Update
+
+
+class GreedyMatchingInsertOnly(BatchDynamicAlgorithm):
+    """Bounded greedy matching under insertion-only batches."""
+
+    name = "matching-greedy"
+
+    def __init__(self, config: MPCConfig, alpha: float = 2.0,
+                 cap_constant: float = 1.0,
+                 cluster: Optional[Cluster] = None,
+                 batch_limit: Optional[int] = None):
+        super().__init__(config, cluster=cluster, batch_limit=batch_limit)
+        if alpha < 1:
+            raise ConfigurationError("alpha must be at least 1")
+        self.alpha = alpha
+        self.cap = max(1, math.ceil(cap_constant * config.n / alpha))
+        self._mate: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def matching(self) -> MatchingSolution:
+        edges = sorted({(min(u, v), max(u, v))
+                        for u, v in self._mate.items()})
+        return MatchingSolution(edges=edges)
+
+    def matching_size(self) -> int:
+        return len(self._mate) // 2
+
+    # ------------------------------------------------------------------
+    def _process_batch(self, inserts: List[Update],
+                       deletes: List[Update]) -> None:
+        if deletes:
+            raise InvalidUpdateError(
+                "GreedyMatchingInsertOnly accepts insertion-only streams "
+                "(Theorem 8.1); use AKLYMatching for dynamic streams"
+            )
+        if self.matching_size() >= self.cap:
+            # |M| >= cn/alpha already certifies the approximation; the
+            # batch is dropped without any communication (Theorem 8.1).
+            return
+        self.cluster.charge_broadcast(words=max(1, len(inserts)),
+                                      category="batch")
+        self.cluster.charge_local(category="filter")
+        for up in inserts:
+            if self.matching_size() >= self.cap:
+                break
+            if up.u not in self._mate and up.v not in self._mate:
+                self._mate[up.u] = up.v
+                self._mate[up.v] = up.u
+
+    # ------------------------------------------------------------------
+    def _register_memory(self) -> None:
+        self.cluster.metrics.register_memory("matching", len(self._mate))

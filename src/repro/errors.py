@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Specific subclasses are raised by
+the MPC simulator (resource violations), the sketching layer (recovery
+failures), and the dynamic algorithms (invalid updates).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was supplied to a constructor."""
+
+
+class CapacityExceededError(ReproError):
+    """A machine exceeded its local memory or per-round message budget.
+
+    Raised only when the simulator runs with ``strict_capacity=True``;
+    otherwise violations are recorded in the metrics ledger.
+    """
+
+    def __init__(self, machine_id: int, used: int, capacity: int, what: str):
+        self.machine_id = machine_id
+        self.used = used
+        self.capacity = capacity
+        self.what = what
+        super().__init__(
+            f"machine {machine_id} exceeded {what} capacity: "
+            f"{used} > {capacity} words"
+        )
+
+
+class BatchTooLargeError(ReproError):
+    """An update batch exceeded the model's per-phase batch bound."""
+
+    def __init__(self, batch_size: int, bound: int):
+        self.batch_size = batch_size
+        self.bound = bound
+        super().__init__(
+            f"batch of {batch_size} updates exceeds the model bound of "
+            f"{bound} updates per phase"
+        )
+
+
+class InvalidUpdateError(ReproError):
+    """An edge update is inconsistent with the current graph state.
+
+    Examples: inserting an edge that already exists, deleting an edge
+    that is absent, or a self-loop.  The model (paper, Section 1.2)
+    assumes the maintained graph is simple and deletions concern only
+    existing edges.
+    """
+
+
+class SketchFailureError(ReproError):
+    """A sketch query failed (all levels of an L0-sampler rejected).
+
+    The algorithms treat this as the low-probability failure event the
+    paper's "w.h.p." guarantees allow; callers may retry with an
+    independent sketch column.
+    """
+
+
+class QueryError(ReproError):
+    """A query was asked of an algorithm in a state that cannot serve it."""

@@ -1,0 +1,39 @@
+"""Euler-tour forest substrate (paper, Sections 5-6.2 and 7.1).
+
+:class:`~repro.euler.sequential.EulerTourForest` is the list-based
+reference; :class:`~repro.euler.distributed.DistributedEulerForest` is
+the index-based structure with batch join/split used by the MPC
+algorithms."""
+
+from repro.euler.auxiliary import (
+    Component,
+    CutInterval,
+    Segment,
+    SegmentMap,
+    nested_interval_decomposition,
+    rotation_segments,
+)
+from repro.euler.distributed import BatchReport, DistributedEulerForest
+from repro.euler.sequential import (
+    EulerTourForest,
+    Tour,
+    join_tours,
+    rotate_tour,
+    split_tour,
+)
+
+__all__ = [
+    "Component",
+    "CutInterval",
+    "Segment",
+    "SegmentMap",
+    "nested_interval_decomposition",
+    "rotation_segments",
+    "BatchReport",
+    "DistributedEulerForest",
+    "EulerTourForest",
+    "Tour",
+    "join_tours",
+    "rotate_tour",
+    "split_tour",
+]

@@ -1,0 +1,280 @@
+"""Reference Euler-tour forest: explicit tour lists, O(n) operations.
+
+This is the oracle the distributed implementation is tested against.  A
+tour is the closed Euler walk of a rooted tree, stored as the list of
+its ``2(|T|-1)`` *directed* edges (a singleton tree has the empty tour).
+The paper counts endpoint symbols and gets ``4(|T|-1)``; the directed
+edge positions carry the same information with half the entries
+(DESIGN.md, deviations).
+
+All operations rebuild the affected lists, which costs O(tree size) --
+matching the ~O(n) sequential update time the paper's own streaming
+algorithm admits (Section 4); constant MPC rounds, not sequential time,
+is the object of study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.types import Edge, canonical
+
+DirectedEdge = Tuple[int, int]
+
+
+class Tour:
+    """One rooted tree's Euler tour: a list of directed edges."""
+
+    __slots__ = ("root", "edges")
+
+    def __init__(self, root: int, edges: Optional[List[DirectedEdge]] = None):
+        self.root = root
+        self.edges: List[DirectedEdge] = edges if edges is not None else []
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.edges) // 2 + 1
+
+    def vertices(self) -> Set[int]:
+        if not self.edges:
+            return {self.root}
+        seen: Set[int] = set()
+        for a, b in self.edges:
+            seen.add(a)
+            seen.add(b)
+        return seen
+
+    def first_exit(self, v: int) -> int:
+        """Index of the first directed edge leaving ``v``.
+
+        This is the canonical *boundary* where a subtree can be spliced
+        in: the walk is standing at ``v`` just before that edge.  For the
+        root the boundary is 0.
+        """
+        if v == self.root:
+            return 0
+        for i, (a, _) in enumerate(self.edges):
+            if a == v:
+                return i
+        raise ValueError(f"vertex {v} does not occur in this tour")
+
+    def validate(self) -> None:
+        """Assert the walk is a closed Euler tour of a tree."""
+        if not self.edges:
+            return
+        if self.edges[0][0] != self.root or self.edges[-1][1] != self.root:
+            raise AssertionError("tour does not start and end at its root")
+        for (_, b), (c, _) in zip(self.edges, self.edges[1:]):
+            if b != c:
+                raise AssertionError("tour is not a contiguous walk")
+        undirected: Dict[Edge, int] = {}
+        for a, b in self.edges:
+            undirected[canonical(a, b)] = undirected.get(canonical(a, b), 0) + 1
+        if any(count != 2 for count in undirected.values()):
+            raise AssertionError("some edge is not traversed exactly twice")
+        if len(undirected) != self.num_vertices - 1:
+            raise AssertionError("edge count does not match a tree")
+
+
+def rotate_tour(tour: Tour, new_root: int) -> Tour:
+    """The same tree re-rooted at ``new_root`` (Rooting, Lemma 5.1)."""
+    if new_root == tour.root or not tour.edges:
+        return Tour(new_root, list(tour.edges))
+    k = tour.first_exit(new_root)
+    return Tour(new_root, tour.edges[k:] + tour.edges[:k])
+
+
+def join_tours(parent: Tour, attach_at: int, child: Tour,
+               child_terminal: int) -> Tour:
+    """Splice ``child`` (re-rooted at ``child_terminal``) into ``parent``
+    at vertex ``attach_at`` via the new edge {attach_at, child_terminal}
+    (Join, Lemma 5.1, generalised to internal attachment points)."""
+    rotated = rotate_tour(child, child_terminal)
+    k = parent.first_exit(attach_at) if parent.edges else 0
+    spliced = (
+        parent.edges[:k]
+        + [(attach_at, child_terminal)]
+        + rotated.edges
+        + [(child_terminal, attach_at)]
+        + parent.edges[k:]
+    )
+    return Tour(parent.root, spliced)
+
+
+def split_tour(tour: Tour, u: int, v: int) -> Tuple[Tour, Tour]:
+    """Remove tree edge {u, v}; return (remainder, severed subtree).
+
+    The remainder keeps the old root; the severed part is rooted at the
+    child-side endpoint (Split, Lemma 5.1).
+    """
+    try:
+        i = tour.edges.index((u, v))
+        j = tour.edges.index((v, u))
+    except ValueError as exc:
+        raise ValueError(f"({u}, {v}) is not an edge of this tour") from exc
+    if i > j:
+        i, j = j, i
+        u, v = v, u
+    # Positions i..j bracket v's subtree; v is the child side.
+    child = Tour(v, tour.edges[i + 1:j])
+    rest = Tour(tour.root, tour.edges[:i] + tour.edges[j + 1:])
+    return rest, child
+
+
+class EulerTourForest:
+    """A forest of Euler tours over vertices ``0 .. n-1`` (reference).
+
+    Supports ``link``, ``cut``, ``reroot``, connectivity queries, and
+    path extraction.  Every vertex starts as its own singleton tree.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one vertex")
+        self.n = n
+        self._tour_of: Dict[int, int] = {v: v for v in range(n)}
+        self._tours: Dict[int, Tour] = {v: Tour(v) for v in range(n)}
+        self._next_id = n
+
+    def _fresh_id(self) -> int:
+        tid = self._next_id
+        self._next_id += 1
+        return tid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def tree_id(self, v: int) -> int:
+        return self._tour_of[v]
+
+    def tour(self, tid: int) -> Tour:
+        return self._tours[tid]
+
+    def connected(self, u: int, v: int) -> bool:
+        return self._tour_of[u] == self._tour_of[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        tid = self._tour_of[u]
+        if tid != self._tour_of[v]:
+            return False
+        return (u, v) in self._tours[tid].edges
+
+    def tree_vertices(self, v: int) -> Set[int]:
+        return self._tours[self._tour_of[v]].vertices()
+
+    def tree_edges(self, v: int) -> List[Edge]:
+        tour = self._tours[self._tour_of[v]]
+        seen: Set[Edge] = set()
+        out: List[Edge] = []
+        for a, b in tour.edges:
+            edge = canonical(a, b)
+            if edge not in seen:
+                seen.add(edge)
+                out.append(edge)
+        return out
+
+    def all_edges(self) -> List[Edge]:
+        out: List[Edge] = []
+        for tour in self._tours.values():
+            seen: Set[Edge] = set()
+            for a, b in tour.edges:
+                edge = canonical(a, b)
+                if edge not in seen:
+                    seen.add(edge)
+                    out.append(edge)
+        return out
+
+    def components(self) -> Iterator[Set[int]]:
+        for tour in self._tours.values():
+            yield tour.vertices()
+
+    def path_edges(self, u: int, v: int) -> List[Edge]:
+        """Edges on the unique tree path from ``u`` to ``v``."""
+        if not self.connected(u, v):
+            raise ValueError(f"{u} and {v} are in different trees")
+        if u == v:
+            return []
+        tour = self._tours[self._tour_of[u]]
+        adjacency: Dict[int, List[int]] = {}
+        for a, b in tour.edges:
+            adjacency.setdefault(a, []).append(b)
+        # BFS over the tree (it is small; this is the oracle).
+        parent: Dict[int, Optional[int]] = {u: None}
+        frontier = [u]
+        while frontier and v not in parent:
+            nxt: List[int] = []
+            for x in frontier:
+                for y in adjacency.get(x, []):
+                    if y not in parent:
+                        parent[y] = x
+                        nxt.append(y)
+            frontier = nxt
+        path: List[Edge] = []
+        cur = v
+        while parent[cur] is not None:
+            prev = parent[cur]
+            path.append(canonical(prev, cur))
+            cur = prev
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def reroot(self, v: int) -> None:
+        tid = self._tour_of[v]
+        self._tours[tid] = rotate_tour(self._tours[tid], v)
+
+    def link(self, u: int, v: int) -> None:
+        """Join the trees of ``u`` and ``v`` with the edge {u, v}."""
+        tid_u, tid_v = self._tour_of[u], self._tour_of[v]
+        if tid_u == tid_v:
+            raise ValueError(f"{u} and {v} are already connected")
+        tour_u, tour_v = self._tours[tid_u], self._tours[tid_v]
+        joined = join_tours(tour_u, u, tour_v, v)
+        del self._tours[tid_v]
+        del self._tours[tid_u]
+        new_tid = self._fresh_id()
+        self._tours[new_tid] = joined
+        for vertex in joined.vertices():
+            self._tour_of[vertex] = new_tid
+
+    def cut(self, u: int, v: int) -> None:
+        """Remove tree edge {u, v}, splitting its tree in two.
+
+        Both halves get fresh tour ids (ids are never reused, so stale
+        references fail loudly instead of aliasing another tree).
+        """
+        tid = self._tour_of[u]
+        if tid != self._tour_of[v]:
+            raise ValueError(f"({u}, {v}) spans two different trees")
+        rest, severed = split_tour(self._tours[tid], u, v)
+        del self._tours[tid]
+        rest_tid = self._fresh_id()
+        severed_tid = self._fresh_id()
+        self._tours[rest_tid] = rest
+        self._tours[severed_tid] = severed
+        for vertex in rest.vertices():
+            self._tour_of[vertex] = rest_tid
+        for vertex in severed.vertices():
+            self._tour_of[vertex] = severed_tid
+
+    def validate(self) -> None:
+        """Check every tour and the vertex->tour map (test hook)."""
+        seen: Set[int] = set()
+        for tid, tour in self._tours.items():
+            tour.validate()
+            verts = tour.vertices()
+            if seen & verts:
+                raise AssertionError("tours share vertices")
+            seen |= verts
+            for vertex in verts:
+                if self._tour_of[vertex] != tid:
+                    raise AssertionError(
+                        f"vertex {vertex} mapped to wrong tour"
+                    )
+        if seen != set(range(self.n)):
+            raise AssertionError("tours do not cover the vertex set")

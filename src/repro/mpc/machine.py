@@ -1,0 +1,86 @@
+"""A single MPC machine: a bounded local store plus message buffers.
+
+Machines are deliberately dumb containers.  All coordination lives in
+:class:`~repro.mpc.simulator.Cluster`; a machine only knows its capacity
+and how many words it currently holds.  Storage is a string-keyed dict so
+that independent data structures (sketch shards, tour indices, matching
+state) can coexist without colliding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+@dataclass
+class Message:
+    """A point-to-point message for one synchronous round.
+
+    ``words`` is the accounting size; payloads are arbitrary Python
+    values (the simulator never serialises them, it only counts words).
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise ValueError("message size must be non-negative")
+
+
+class Machine:
+    """One machine with ``capacity`` words of local memory."""
+
+    __slots__ = ("machine_id", "capacity", "_store", "_used")
+
+    def __init__(self, machine_id: int, capacity: int):
+        self.machine_id = machine_id
+        self.capacity = capacity
+        self._store: Dict[str, Tuple[Any, int]] = {}
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Local storage
+    # ------------------------------------------------------------------
+    @property
+    def used_words(self) -> int:
+        return self._used
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity - self._used
+
+    def put(self, key: str, value: Any, words: int) -> None:
+        """Store ``value`` under ``key``, replacing any previous entry."""
+        if words < 0:
+            raise ValueError("stored size must be non-negative")
+        self.discard(key)
+        self._store[key] = (value, words)
+        self._used += words
+
+    def get(self, key: str, default: Any = None) -> Any:
+        entry = self._store.get(key)
+        return entry[0] if entry is not None else default
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def discard(self, key: str) -> None:
+        entry = self._store.pop(key, None)
+        if entry is not None:
+            self._used -= entry[1]
+
+    def keys(self) -> Iterable[str]:
+        return self._store.keys()
+
+    def over_capacity(self) -> bool:
+        return self._used > self.capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.machine_id}, used={self._used}/"
+            f"{self.capacity} words, {len(self._store)} keys)"
+        )

@@ -1,0 +1,44 @@
+"""Linear sketching substrate: hashing, 1-sparse recovery, L0-sampling,
+and the AGM graph sketches built from them (paper, Section 3.1)."""
+
+from repro.sketch.edge_coding import (
+    decode_index,
+    edge_sign,
+    encode_edge,
+    num_pairs,
+)
+from repro.sketch.graph_sketch import MergedSketch, SketchFamily, VertexSketch
+from repro.sketch.hashing import (
+    MERSENNE_P,
+    FourWiseHash,
+    KWiseHash,
+    PairwiseHash,
+    random_field_element,
+    trailing_zeros,
+)
+from repro.sketch.l0_sampler import (
+    L0Sampler,
+    SamplerRandomness,
+    levels_for_universe,
+)
+from repro.sketch.sparse_recovery import RecoveryMatrix
+
+__all__ = [
+    "decode_index",
+    "edge_sign",
+    "encode_edge",
+    "num_pairs",
+    "MergedSketch",
+    "SketchFamily",
+    "VertexSketch",
+    "MERSENNE_P",
+    "FourWiseHash",
+    "KWiseHash",
+    "PairwiseHash",
+    "random_field_element",
+    "trailing_zeros",
+    "L0Sampler",
+    "SamplerRandomness",
+    "levels_for_universe",
+    "RecoveryMatrix",
+]

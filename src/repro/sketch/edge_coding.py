@@ -1,0 +1,72 @@
+"""Bijective coding between undirected edges and vector coordinates.
+
+The AGM sketches view the graph as a vector indexed by the ``C(n, 2)``
+vertex pairs (paper, Section 3.1).  We use the row-major upper-triangular
+order: pair ``(i, j)`` with ``i < j`` gets index
+
+    offset(i) + (j - i - 1),   offset(i) = i*n - i*(i+1)/2
+
+so row ``i`` holds the pairs ``(i, i+1) .. (i, n-1)``.  Decoding inverts
+the quadratic ``offset`` with an integer square root plus a local
+correction loop (exact for all inputs; property-tested round-trip).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.types import Edge
+
+
+def num_pairs(n: int) -> int:
+    """Size of the coordinate space: ``C(n, 2)``."""
+    return n * (n - 1) // 2
+
+
+def row_offset(n: int, i: int) -> int:
+    """Index of pair ``(i, i+1)``, the first pair in row ``i``."""
+    return i * n - i * (i + 1) // 2
+
+
+def encode_edge(n: int, u: int, v: int) -> int:
+    """Map an undirected edge to its coordinate in ``[0, C(n,2))``."""
+    if u == v:
+        raise ValueError(f"self-loop ({u}, {v}) has no coordinate")
+    i, j = (u, v) if u < v else (v, u)
+    if not 0 <= i < j < n:
+        raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+    return row_offset(n, i) + (j - i - 1)
+
+
+def decode_index(n: int, idx: int) -> Edge:
+    """Inverse of :func:`encode_edge`."""
+    total = num_pairs(n)
+    if not 0 <= idx < total:
+        raise ValueError(f"index {idx} out of range for n={n}")
+    # Solve offset(i) <= idx: i is roughly n - 1/2 - sqrt((n-1/2)^2 - 2*idx).
+    # Compute a candidate with isqrt and correct by +-1 steps (at most 2).
+    disc = (2 * n - 1) * (2 * n - 1) - 8 * idx
+    i = (2 * n - 1 - math.isqrt(disc)) // 2
+    i = max(0, min(n - 2, i))
+    while i > 0 and row_offset(n, i) > idx:
+        i -= 1
+    while i < n - 2 and row_offset(n, i + 1) <= idx:
+        i += 1
+    j = i + 1 + (idx - row_offset(n, i))
+    return (i, j)
+
+
+def edge_sign(vertex: int, u: int, v: int) -> int:
+    """Sign of coordinate ``{u, v}`` in vertex ``vertex``'s vector X_vertex.
+
+    Paper convention (Section 3.1): ``+1`` when ``vertex`` is the larger
+    endpoint, ``-1`` when it is the smaller one.  Summing the two
+    endpoint vectors therefore cancels the edge -- the property that
+    makes component-merged sketches sample only *cut* edges (Lemma 3.3).
+    """
+    if vertex == max(u, v):
+        return 1
+    if vertex == min(u, v):
+        return -1
+    raise ValueError(f"vertex {vertex} is not an endpoint of ({u}, {v})")

@@ -1,0 +1,139 @@
+"""AGM graph sketches: per-vertex signed edge-incidence samplers.
+
+Paper, Section 3.1.  Every vertex ``v`` owns a vector ``X_v`` over the
+``C(n, 2)`` pair coordinates with the sign convention of Lemma 3.3
+(``+1`` when ``v`` is the larger endpoint, ``-1`` when the smaller), and
+a mergeable L0-sampler of that vector.  For any vertex set ``A``, the sum
+of the members' sketches is a sketch of ``X_A``, whose support is exactly
+the cut ``E(A, V \\ A)`` -- internal edges cancel.  Querying the merged
+sketch therefore returns a random cut edge (Lemma 3.5), the operation the
+connectivity algorithm uses to find replacement edges after deletions.
+
+:class:`SketchFamily` carries the shared randomness (one instance per
+algorithm), :class:`VertexSketch` is the per-vertex state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.sketch.edge_coding import decode_index, edge_sign, encode_edge, num_pairs
+from repro.sketch.l0_sampler import L0Sampler, SamplerRandomness
+from repro.types import Edge
+
+
+class SketchFamily:
+    """Shared randomness + geometry for all vertex sketches of one run.
+
+    ``columns`` plays the role of the paper's ``t = O(log n)``
+    independent sketches per vertex: batch deletions consume one column
+    per AGM halving iteration (Section 6.3), and column rotation across
+    phases keeps reuse of revealed randomness bounded (DESIGN.md, D3).
+    """
+
+    def __init__(self, n: int, columns: int, rng: np.random.Generator):
+        if n < 2:
+            raise ValueError("need at least two vertices")
+        self.n = n
+        self.columns = columns
+        self.universe = num_pairs(n)
+        self.randomness = SamplerRandomness(self.universe, columns, rng)
+
+    @property
+    def levels(self) -> int:
+        return self.randomness.levels
+
+    def encode(self, u: int, v: int) -> int:
+        return encode_edge(self.n, u, v)
+
+    def decode(self, idx: int) -> Edge:
+        return decode_index(self.n, idx)
+
+    def new_vertex_sketch(self, vertex: int) -> "VertexSketch":
+        return VertexSketch(self, vertex)
+
+    @property
+    def words_per_vertex(self) -> int:
+        """Accounting size of one vertex's stack: 3 t L words."""
+        return 3 * self.columns * self.randomness.levels
+
+
+class VertexSketch:
+    """The sketch stack ``S_v`` of a single vertex."""
+
+    __slots__ = ("family", "vertex", "sampler")
+
+    def __init__(self, family: SketchFamily, vertex: int,
+                 sampler: Optional[L0Sampler] = None):
+        self.family = family
+        self.vertex = vertex
+        self.sampler = sampler if sampler is not None else L0Sampler(
+            family.randomness
+        )
+
+    def apply_edge(self, u: int, v: int, delta: int) -> None:
+        """Record the insertion (+1) or deletion (-1) of edge ``{u, v}``.
+
+        The owner vertex must be an endpoint; the coordinate is updated
+        with the signed value ``edge_sign(owner) * delta``.
+        """
+        sign = edge_sign(self.vertex, u, v)
+        idx = self.family.encode(u, v)
+        self.sampler.update(idx, sign * delta)
+
+    def copy(self) -> "VertexSketch":
+        return VertexSketch(self.family, self.vertex, self.sampler.copy())
+
+    @property
+    def words(self) -> int:
+        return self.sampler.words
+
+
+class MergedSketch:
+    """The sketch ``S_A`` of a vertex set ``A`` (sum of member stacks).
+
+    Query helpers mirror Lemma 3.5: :meth:`sample_cut_edge` returns an
+    edge of ``E(A, V \\ A)`` or ``None``, and :meth:`cut_is_empty`
+    distinguishes the empty cut from sampler failure (w.h.p.).
+    """
+
+    __slots__ = ("family", "sampler")
+
+    def __init__(self, family: SketchFamily, sampler: L0Sampler):
+        self.family = family
+        self.sampler = sampler
+
+    @staticmethod
+    def of(members: Iterable[VertexSketch]) -> "MergedSketch":
+        stacks: List[VertexSketch] = list(members)
+        if not stacks:
+            raise ValueError("cannot merge an empty vertex set")
+        family = stacks[0].family
+        for stack in stacks:
+            if stack.family is not family:
+                raise ValueError("vertex sketches from different families")
+        merged = L0Sampler.merged([s.sampler for s in stacks])
+        return MergedSketch(family, merged)
+
+    def sample_cut_edge(self, column: int = 0) -> Optional[Edge]:
+        """A random edge crossing the cut, using one sampler column."""
+        idx = self.sampler.sample_column(column % self.family.columns)
+        if idx is None:
+            return None
+        return self.family.decode(idx)
+
+    def sample_cut_edge_any(self, start_column: int = 0) -> Optional[Edge]:
+        """Try every column; ``None`` only if all fail (or cut empty)."""
+        idx = self.sampler.sample(start_column=start_column)
+        if idx is None:
+            return None
+        return self.family.decode(idx)
+
+    def cut_is_empty(self) -> bool:
+        return self.sampler.is_zero()
+
+    @property
+    def words(self) -> int:
+        return self.sampler.words

@@ -1,0 +1,101 @@
+"""k-wise independent hash families over a Mersenne-prime field.
+
+The sketching layer needs pairwise-independent hashes (level sampling in
+the L0-sampler, Lemma 3.1 / [CJ19]) and four-wise independent hashes
+(vertex subsampling in the matching Tester, Section 8.2 / [AKL17]).
+Both are polynomial hashing over ``GF(p)`` with ``p = 2^61 - 1``:
+
+    h(x) = ((a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod p) mod m
+
+which is the textbook construction with exactly k-wise independence on
+the field and negligible range bias for ``m << p``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+MERSENNE_P = (1 << 61) - 1
+
+
+class KWiseHash:
+    """One hash function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    k:
+        Independence degree (2 = pairwise, 4 = four-wise).
+    range_size:
+        Output range ``[0, range_size)``.
+    rng:
+        Source of randomness for the coefficients; pass a seeded
+        ``numpy.random.Generator`` for reproducibility.
+    """
+
+    __slots__ = ("k", "range_size", "coeffs")
+
+    def __init__(self, k: int, range_size: int, rng: np.random.Generator):
+        if k < 1:
+            raise ValueError("independence degree k must be >= 1")
+        if range_size < 1:
+            raise ValueError("range_size must be >= 1")
+        self.k = k
+        self.range_size = range_size
+        # Leading coefficient nonzero keeps the polynomial degree exactly
+        # k-1 (harmless either way, conventional for the family).
+        coeffs = [int(rng.integers(0, MERSENNE_P)) for _ in range(k)]
+        if k > 1 and coeffs[-1] == 0:
+            coeffs[-1] = 1
+        self.coeffs = coeffs
+
+    def field_value(self, x: int) -> int:
+        """The polynomial evaluated in GF(p), before range reduction."""
+        acc = 0
+        for coeff in reversed(self.coeffs):
+            acc = (acc * x + coeff) % MERSENNE_P
+        return acc
+
+    def __call__(self, x: int) -> int:
+        return self.field_value(x) % self.range_size
+
+    def many(self, xs: Sequence[int]) -> List[int]:
+        """Hash a batch of inputs (plain loop; inputs are Python ints)."""
+        return [self(x) for x in xs]
+
+
+class PairwiseHash(KWiseHash):
+    """Pairwise-independent hash: ``h(x) = (a x + b mod p) mod m``."""
+
+    def __init__(self, range_size: int, rng: np.random.Generator):
+        super().__init__(2, range_size, rng)
+
+
+class FourWiseHash(KWiseHash):
+    """Four-wise independent hash, used by the matching Tester."""
+
+    def __init__(self, range_size: int, rng: np.random.Generator):
+        super().__init__(4, range_size, rng)
+
+
+def random_field_element(rng: np.random.Generator,
+                         nonzero: bool = True) -> int:
+    """A uniform element of GF(p), optionally excluding zero.
+
+    Used for fingerprint bases in :mod:`repro.sketch.sparse_recovery`.
+    """
+    value = int(rng.integers(1 if nonzero else 0, MERSENNE_P))
+    return value
+
+
+def trailing_zeros(x: int, cap: int) -> int:
+    """Number of trailing zero bits of ``x``, capped at ``cap``.
+
+    ``trailing_zeros(0, cap) == cap`` by convention -- an all-zero hash
+    value lands in the sparsest level.  This turns a uniform hash value
+    into a geometric level assignment: ``P[level >= l] = 2^-l``.
+    """
+    if x == 0:
+        return cap
+    return min(cap, (x & -x).bit_length() - 1)

@@ -1,0 +1,181 @@
+"""L0-samplers over an arbitrary coordinate universe (Lemma 3.1, [CJ19]).
+
+An :class:`L0Sampler` receives ``+-1`` updates to a vector ``x`` over
+``[universe]`` and, on query, returns some coordinate of the current
+support (or ``None`` for the zero vector / the small failure event).
+It is *linear*: adding two samplers' states gives a sampler for the sum
+of their vectors (Remark 3.2) -- the property every algorithm in the
+paper leans on.
+
+Construction: ``columns`` independent repetitions; in each column a
+pairwise-independent hash assigns every coordinate a geometric level
+(``P[level >= l] = 2^-l``) and a 1-sparse recovery cell is kept per
+level prefix.  A query scans the cells for one that passes the
+fingerprint test.  Each column succeeds with constant probability on a
+nonzero vector, so ``columns = O(log(1/delta))`` boosts to ``1 - delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sketch.hashing import (
+    MERSENNE_P,
+    PairwiseHash,
+    random_field_element,
+    trailing_zeros,
+)
+from repro.sketch.sparse_recovery import RecoveryMatrix
+
+
+def levels_for_universe(universe: int) -> int:
+    """Number of geometric levels: ``ceil(log2 universe) + 2``."""
+    if universe < 1:
+        raise ValueError("universe must contain at least one coordinate")
+    return max(2, math.ceil(math.log2(max(2, universe))) + 2)
+
+
+class SamplerRandomness:
+    """Shared randomness for a *family* of mergeable samplers.
+
+    Two samplers can only be merged when they were built from the same
+    randomness (same level hashes, same fingerprint base), so the
+    algorithms create one :class:`SamplerRandomness` per logical vector
+    family and derive all samplers from it.
+    """
+
+    def __init__(self, universe: int, columns: int,
+                 rng: np.random.Generator):
+        if columns < 1:
+            raise ValueError("need at least one column")
+        self.universe = universe
+        self.columns = columns
+        self.levels = levels_for_universe(universe)
+        self._level_range = 1 << self.levels
+        self.level_hashes: List[PairwiseHash] = [
+            PairwiseHash(self._level_range, rng) for _ in range(columns)
+        ]
+        self.z = random_field_element(rng)
+        self._zpow_cache: Dict[int, int] = {}
+        self._levels_cache: Dict[int, np.ndarray] = {}
+
+    def levels_of(self, idx: int) -> np.ndarray:
+        """Per-column top level of coordinate ``idx`` (cached)."""
+        cached = self._levels_cache.get(idx)
+        if cached is not None:
+            return cached
+        out = np.fromiter(
+            (
+                trailing_zeros(h(idx), self.levels - 1)
+                for h in self.level_hashes
+            ),
+            dtype=np.int64,
+            count=self.columns,
+        )
+        self._levels_cache[idx] = out
+        return out
+
+    def zpow(self, idx: int) -> int:
+        """``z^idx mod p`` (cached; edges repeat across insert/delete)."""
+        cached = self._zpow_cache.get(idx)
+        if cached is not None:
+            return cached
+        value = pow(self.z, idx, MERSENNE_P)
+        self._zpow_cache[idx] = value
+        return value
+
+    def fingerprint_ok(self, idx: int, w: int, f: int) -> bool:
+        """Verify ``F == W * z^idx`` and the level membership of ``idx``."""
+        return (w % MERSENNE_P) * self.zpow(idx) % MERSENNE_P == f
+
+
+class L0Sampler:
+    """A mergeable L0-sampler for one vector.
+
+    Use :meth:`update` during the stream, :meth:`sample` on query.
+    ``sample`` returns ``None`` both for the zero vector and on the
+    (rare) per-column failures; :meth:`is_zero` separates the two cases
+    up to the fingerprint's negligible false-zero probability.
+    """
+
+    __slots__ = ("randomness", "matrix")
+
+    def __init__(self, randomness: SamplerRandomness,
+                 matrix: Optional[RecoveryMatrix] = None):
+        self.randomness = randomness
+        self.matrix = matrix if matrix is not None else RecoveryMatrix(
+            randomness.columns, randomness.levels
+        )
+
+    # ------------------------------------------------------------------
+    def update(self, idx: int, delta: int) -> None:
+        """Add ``delta`` (usually +-1) at coordinate ``idx``."""
+        if not 0 <= idx < self.randomness.universe:
+            raise ValueError(
+                f"coordinate {idx} outside universe "
+                f"[0, {self.randomness.universe})"
+            )
+        if delta == 0:
+            return
+        self.matrix.apply(
+            self.randomness.levels_of(idx), idx, delta,
+            self.randomness.zpow(idx),
+        )
+
+    def merge_from(self, other: "L0Sampler") -> None:
+        if other.randomness is not self.randomness:
+            raise ValueError(
+                "samplers built from different randomness cannot be merged"
+            )
+        self.matrix.merge_from(other.matrix)
+
+    def copy(self) -> "L0Sampler":
+        return L0Sampler(self.randomness, self.matrix.copy())
+
+    @staticmethod
+    def merged(samplers: "list[L0Sampler]") -> "L0Sampler":
+        """A fresh sampler holding the sum of the given samplers."""
+        if not samplers:
+            raise ValueError("need at least one sampler")
+        randomness = samplers[0].randomness
+        for sampler in samplers:
+            if sampler.randomness is not randomness:
+                raise ValueError("mixed randomness in merge")
+        return L0Sampler(
+            randomness,
+            RecoveryMatrix.sum_of([s.matrix for s in samplers]),
+        )
+
+    # ------------------------------------------------------------------
+    def sample_column(self, col: int) -> Optional[int]:
+        """Recover a support coordinate from one column, or ``None``."""
+        return self.matrix.recover(
+            col, self.randomness.universe, self.randomness.fingerprint_ok
+        )
+
+    def sample(self, start_column: int = 0) -> Optional[int]:
+        """Try every column (starting from ``start_column``) in turn."""
+        for offset in range(self.randomness.columns):
+            col = (start_column + offset) % self.randomness.columns
+            found = self.sample_column(col)
+            if found is not None:
+                return found
+        return None
+
+    def is_zero(self) -> bool:
+        """True iff the sketched vector is zero (w.h.p.).
+
+        Requires every column's level-0 cell to be the zero triple,
+        driving the false-zero probability to ``(N/p)^columns``.
+        """
+        return all(
+            self.matrix.column_is_zero(col)
+            for col in range(self.randomness.columns)
+        )
+
+    @property
+    def words(self) -> int:
+        return self.matrix.words

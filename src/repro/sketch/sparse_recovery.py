@@ -1,0 +1,155 @@
+"""1-sparse recovery cells, stacked into (columns x levels) matrices.
+
+The classic building block (paper, Lemma 3.1 via [CJ19]): for a vector
+``x`` restricted to some coordinate subset, keep three sums
+
+    W = sum x_i,    S = sum i * x_i,    F = sum x_i * z^i  (mod p)
+
+If the restriction is exactly 1-sparse, then ``i* = S / W`` recovers the
+coordinate and the fingerprint test ``F == W * z^{i*}`` confirms it; for
+any other vector the test fails except with probability ``<= N/p`` over
+the choice of ``z`` (a nonzero polynomial of degree < N has < N roots).
+
+:class:`RecoveryMatrix` holds one such cell for every (column, level)
+pair of an L0-sampler as three numpy int64 arrays, so updates and merges
+are vectorised.  Values stay inside int64: ``|W| <= m``, ``|S| <= m*N``
+(< 2^53 for every configuration we run), and ``F < p = 2^61 - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.sketch.hashing import MERSENNE_P
+
+
+class RecoveryMatrix:
+    """A (columns x levels) grid of 1-sparse recovery cells.
+
+    The grid is updated by :meth:`apply`, which adds ``delta`` at
+    coordinate ``idx`` to the level-prefix of every column: coordinate
+    ``idx`` belongs to levels ``0 .. col_levels[c]`` of column ``c``
+    (geometric level sampling, decided by the owner's hash functions).
+    """
+
+    __slots__ = ("columns", "levels", "W", "S", "F", "_level_index")
+
+    def __init__(self, columns: int, levels: int):
+        if columns < 1 or levels < 1:
+            raise ValueError("need at least one column and one level")
+        self.columns = columns
+        self.levels = levels
+        self.W = np.zeros((columns, levels), dtype=np.int64)
+        self.S = np.zeros((columns, levels), dtype=np.int64)
+        self.F = np.zeros((columns, levels), dtype=np.int64)
+        self._level_index = np.arange(levels, dtype=np.int64)[None, :]
+
+    # ------------------------------------------------------------------
+    # Updates / merging (linear operations)
+    # ------------------------------------------------------------------
+    def apply(self, col_levels: np.ndarray, idx: int, delta: int,
+              zpow: int) -> None:
+        """Add ``delta`` at coordinate ``idx``.
+
+        ``col_levels`` is the per-column top level of ``idx`` (shape
+        ``(columns,)``); ``zpow`` is ``z^idx mod p``.
+        """
+        mask = self._level_index <= col_levels[:, None]
+        self.W += delta * mask
+        self.S += (delta * idx) * mask
+        self.F = (self.F + (delta * zpow) * mask) % MERSENNE_P
+
+    def merge_from(self, other: "RecoveryMatrix") -> None:
+        """Add another matrix (sketch linearity, Remark 3.2)."""
+        if (other.columns, other.levels) != (self.columns, self.levels):
+            raise ValueError("cannot merge matrices of different shapes")
+        self.W += other.W
+        self.S += other.S
+        self.F = (self.F + other.F) % MERSENNE_P
+
+    def copy(self) -> "RecoveryMatrix":
+        dup = RecoveryMatrix(self.columns, self.levels)
+        dup.W = self.W.copy()
+        dup.S = self.S.copy()
+        dup.F = self.F.copy()
+        return dup
+
+    @staticmethod
+    def sum_of(matrices: "list[RecoveryMatrix]") -> "RecoveryMatrix":
+        """Sum many matrices (component merge).
+
+        ``F`` is reduced mod p after every addition so the running value
+        stays below ``2p < 2^62`` and cannot overflow int64 regardless of
+        how many matrices are merged.
+        """
+        if not matrices:
+            raise ValueError("need at least one matrix to sum")
+        first = matrices[0]
+        out = RecoveryMatrix(first.columns, first.levels)
+        out.W = np.sum([m.W for m in matrices], axis=0)
+        out.S = np.sum([m.S for m in matrices], axis=0)
+        acc = np.zeros_like(first.F)
+        for matrix in matrices:
+            acc = (acc + matrix.F) % MERSENNE_P
+        out.F = acc
+        return out
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def column_is_zero(self, col: int) -> bool:
+        """True iff column ``col`` looks like the zero vector.
+
+        Checked on level 0, which contains every coordinate; the
+        fingerprint makes a false zero require ``F = 0`` for a nonzero
+        polynomial evaluation (probability ``< N/p``).
+        """
+        return (
+            int(self.W[col, 0]) == 0
+            and int(self.S[col, 0]) == 0
+            and int(self.F[col, 0]) == 0
+        )
+
+    def recover(
+        self,
+        col: int,
+        max_index: int,
+        fingerprint_ok: Callable[[int, int, int], bool],
+    ) -> Optional[int]:
+        """Try to recover a coordinate from column ``col``.
+
+        Scans the levels and returns the first coordinate whose cell
+        passes the divisibility, range, and fingerprint tests; ``None``
+        if every level rejects (the sampler's ``bottom`` outcome).
+        """
+        W_col = self.W[col]
+        S_col = self.S[col]
+        F_col = self.F[col]
+        for level in range(self.levels):
+            w = int(W_col[level])
+            if w == 0:
+                continue
+            s = int(S_col[level])
+            if s % w != 0:
+                continue
+            idx = s // w
+            if not 0 <= idx < max_index:
+                continue
+            if fingerprint_ok(idx, w, int(F_col[level])):
+                return idx
+        return None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """Accounting footprint: three words per cell."""
+        return 3 * self.columns * self.levels
+
+    def is_entirely_zero(self) -> bool:
+        return (
+            not self.W.any() and not self.S.any() and not self.F.any()
+        )

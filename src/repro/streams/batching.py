@@ -1,0 +1,26 @@
+"""Batch partitioning helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.types import Batch, Update
+
+
+def as_batches(updates: Sequence[Update], batch_size: int) -> List[Batch]:
+    """Split an update sequence into consecutive batches.
+
+    The split preserves stream order, so the phase-by-phase graph
+    evolution matches the single-update stream exactly.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return [
+        Batch(updates[i:i + batch_size])
+        for i in range(0, len(updates), batch_size)
+    ]
+
+
+def singleton_batches(updates: Sequence[Update]) -> List[Batch]:
+    """One update per phase (the [ILMP19] single-update regime)."""
+    return [Batch([up]) for up in updates]

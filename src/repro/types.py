@@ -1,0 +1,146 @@
+"""Shared value types: edge updates, batches, and solution containers.
+
+The whole library speaks a single update vocabulary defined here.  An
+:class:`Update` is an (op, u, v, weight) record; a batch is a sequence of
+updates applied in one MPC *phase* (paper, Section 1.2).  Helper
+constructors :func:`ins` and :func:`dele` keep call-sites terse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+def canonical(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) representation of an undirected edge."""
+    if u == v:
+        raise ValueError(f"self-loop ({u}, {v}) is not a valid edge")
+    return (u, v) if u < v else (v, u)
+
+
+class Op(enum.Enum):
+    """Kind of a single edge update."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single edge insertion or deletion, optionally weighted.
+
+    Weights are only meaningful to the minimum-spanning-forest
+    algorithms; connectivity and matching ignore them.
+    """
+
+    op: Op
+    u: int
+    v: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loop update on vertex {self.u}")
+
+    @property
+    def edge(self) -> Edge:
+        """Canonical (min, max) endpoint pair."""
+        return canonical(self.u, self.v)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op is Op.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.op is Op.DELETE
+
+    def inverse(self) -> "Update":
+        """The update that undoes this one (used by churn generators)."""
+        other = Op.DELETE if self.op is Op.INSERT else Op.INSERT
+        return Update(other, self.u, self.v, self.weight)
+
+
+def ins(u: int, v: int, weight: float = 1.0) -> Update:
+    """Shorthand for an insertion update."""
+    return Update(Op.INSERT, u, v, weight)
+
+
+def dele(u: int, v: int, weight: float = 1.0) -> Update:
+    """Shorthand for a deletion update."""
+    return Update(Op.DELETE, u, v, weight)
+
+
+class Batch(Sequence[Update]):
+    """An ordered batch of updates applied within a single phase.
+
+    The paper assumes w.l.o.g. that a batch is processed insertions
+    first, then deletions (Section 1.2); :meth:`split` provides that
+    partition while preserving the original order inside each part.
+    """
+
+    __slots__ = ("_updates",)
+
+    def __init__(self, updates: Iterable[Update]):
+        self._updates: List[Update] = list(updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __getitem__(self, idx):  # type: ignore[override]
+        return self._updates[idx]
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __repr__(self) -> str:
+        return f"Batch({len(self._updates)} updates)"
+
+    @property
+    def insertions(self) -> List[Update]:
+        return [up for up in self._updates if up.is_insert]
+
+    @property
+    def deletions(self) -> List[Update]:
+        return [up for up in self._updates if up.is_delete]
+
+    def split(self) -> Tuple["Batch", "Batch"]:
+        """Partition into (insertions, deletions) sub-batches."""
+        return Batch(self.insertions), Batch(self.deletions)
+
+
+@dataclass
+class ForestSolution:
+    """A (spanning or minimum-spanning) forest reported by a query.
+
+    ``edges`` hold canonical endpoint pairs; ``weights`` is parallel to
+    ``edges`` for weighted problems and empty otherwise.
+    """
+
+    n: int
+    edges: List[Edge]
+    weights: List[float]
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(self.weights))
+
+    @property
+    def num_components(self) -> int:
+        return self.n - len(self.edges)
+
+
+@dataclass
+class MatchingSolution:
+    """A matching reported by a query, with the size estimate if any."""
+
+    edges: List[Edge]
+    size_estimate: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.edges)

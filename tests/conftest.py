@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpc import Cluster, MPCConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config():
+    return MPCConfig(n=64, phi=0.5, seed=7)
+
+
+@pytest.fixture
+def small_cluster(small_config):
+    return Cluster(small_config)
+
+
+def make_valid_batch(rng, n, live, size, delete_fraction=0.4,
+                     weighted=False):
+    """A model-valid batch: no within-batch edge reuse, deletes target
+    live edges only.  Mutates ``live`` to the post-batch edge set."""
+    from repro.types import dele, ins
+
+    updates = []
+    touched = set()
+    for _ in range(size):
+        pool = sorted(live - touched)
+        if pool and rng.random() < delete_fraction:
+            edge = pool[int(rng.integers(0, len(pool)))]
+            touched.add(edge)
+            live.discard(edge)
+            updates.append(dele(*edge))
+        else:
+            for _ in range(80):
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u == v:
+                    continue
+                edge = (min(u, v), max(u, v))
+                if edge not in live and edge not in touched:
+                    touched.add(edge)
+                    live.add(edge)
+                    weight = float(rng.integers(1, 64)) if weighted else 1.0
+                    updates.append(ins(u, v, weight))
+                    break
+    return updates

@@ -1,0 +1,79 @@
+"""Analysis helpers: table rendering and bound formulas."""
+
+import pytest
+
+from repro.analysis import (
+    agm_query_rounds_bound,
+    batch_bound,
+    connectivity_total_memory_bound,
+    full_graph_total_memory_bound,
+    matching_memory_bound_dynamic,
+    matching_memory_bound_insert_only,
+    print_table,
+    ratio,
+    render_table,
+    rounds_bound_per_batch,
+    size_estimation_memory_bound,
+)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        rows = [
+            {"alg": "ours", "rounds": 12, "memory": 3456.0},
+            {"alg": "baseline", "rounds": 120, "memory": 1.0e9},
+        ]
+        text = render_table(rows, title="EXP-X")
+        lines = text.splitlines()
+        assert lines[0] == "EXP-X"
+        assert "alg" in lines[1] and "rounds" in lines[1]
+        assert len(lines) == 5
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1, "columns must align"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_ratio(self):
+        assert ratio(5, 10) == 0.5
+        assert ratio(1, 0) == float("inf")
+
+    def test_print_table_smoke(self, capsys):
+        print_table([{"x": 1}], title="t")
+        assert "t" in capsys.readouterr().out
+
+
+class TestBounds:
+    def test_connectivity_memory_superlinear_in_n(self):
+        assert (connectivity_total_memory_bound(2048)
+                > 2 * connectivity_total_memory_bound(1024))
+
+    def test_full_graph_linear_in_m(self):
+        n = 100
+        assert (full_graph_total_memory_bound(n, 10000)
+                > 5 * full_graph_total_memory_bound(n, 100))
+
+    def test_rounds_bound_inverse_in_phi(self):
+        assert rounds_bound_per_batch(0.25) == 2 * rounds_bound_per_batch(0.5)
+
+    def test_agm_query_logarithmic(self):
+        assert agm_query_rounds_bound(2 ** 20) == pytest.approx(
+            2 * agm_query_rounds_bound(2 ** 10)
+        )
+
+    def test_batch_bound_monotone_in_phi(self):
+        assert batch_bound(2 ** 20, 0.75) > batch_bound(2 ** 20, 0.25)
+
+    def test_matching_bounds_shrink_with_alpha(self):
+        n = 1024
+        assert (matching_memory_bound_insert_only(n, 8)
+                < matching_memory_bound_insert_only(n, 2))
+        assert (matching_memory_bound_dynamic(n, 8)
+                < matching_memory_bound_dynamic(n, 2))
+        assert (size_estimation_memory_bound(n, 8, dynamic=True)
+                < size_estimation_memory_bound(n, 2, dynamic=True))

@@ -1,0 +1,102 @@
+"""Tests for the shared algorithm base class and update validator."""
+
+import pytest
+
+from repro.core.api import BatchDynamicAlgorithm, UpdateValidator
+from repro.errors import BatchTooLargeError, InvalidUpdateError
+from repro.mpc import MPCConfig
+from repro.types import Update, dele, ins
+
+
+class TestUpdateValidator:
+    def test_accepts_valid_sequence(self):
+        validator = UpdateValidator()
+        validator.check_and_apply([ins(0, 1), ins(1, 2)])
+        validator.check_and_apply([dele(0, 1)])
+        assert validator.num_edges == 1
+        assert validator.edges() == {(1, 2)}
+
+    def test_duplicate_insert_rejected(self):
+        validator = UpdateValidator()
+        validator.check_and_apply([ins(0, 1)])
+        with pytest.raises(InvalidUpdateError):
+            validator.check_and_apply([ins(1, 0)])
+
+    def test_missing_delete_rejected(self):
+        validator = UpdateValidator()
+        with pytest.raises(InvalidUpdateError):
+            validator.check_and_apply([dele(0, 1)])
+
+    def test_insert_then_delete_same_batch_ok(self):
+        validator = UpdateValidator()
+        validator.check_and_apply([ins(0, 1), dele(0, 1)])
+        assert validator.num_edges == 0
+
+    def test_delete_then_reinsert_same_batch_rejected(self):
+        """Insertions are processed first (Section 1.2), so this batch
+        would insert a duplicate."""
+        validator = UpdateValidator()
+        validator.check_and_apply([ins(0, 1)])
+        with pytest.raises(InvalidUpdateError):
+            validator.check_and_apply([dele(0, 1), ins(0, 1)])
+
+    def test_tracks_weights(self):
+        validator = UpdateValidator()
+        validator.check_and_apply([ins(0, 1, weight=4.0)])
+        assert validator.weight_of((0, 1)) == 4.0
+
+    def test_untracked_mode_accepts_anything(self):
+        validator = UpdateValidator(track=False)
+        validator.check_and_apply([dele(0, 1)])  # no error
+        assert validator.num_edges == 0
+
+
+class _Recorder(BatchDynamicAlgorithm):
+    """Minimal concrete algorithm for base-class behaviour tests."""
+
+    name = "recorder"
+
+    def __init__(self, config, **kwargs):
+        super().__init__(config, **kwargs)
+        self.seen = []
+
+    def _process_batch(self, inserts, deletes):
+        self.seen.append((list(inserts), list(deletes)))
+        self.cluster.charge_local()
+
+    def _register_memory(self):
+        self.cluster.metrics.register_memory("state", 7)
+
+
+class TestBatchDynamicAlgorithm:
+    def test_phase_metrics_recorded(self):
+        alg = _Recorder(MPCConfig(n=16, phi=0.5, seed=0))
+        snap = alg.apply_batch([ins(0, 1), dele(0, 1)])
+        assert snap.batch_size == 2
+        assert snap.rounds > 0
+        assert alg.phases == [snap]
+        assert alg.total_memory_words() == 7
+
+    def test_inserts_split_from_deletes(self):
+        alg = _Recorder(MPCConfig(n=16, phi=0.5, seed=0))
+        alg.apply_batch([ins(0, 1), ins(2, 3), dele(0, 1)])
+        inserts, deletes = alg.seen[0]
+        assert [up.edge for up in inserts] == [(0, 1), (2, 3)]
+        assert [up.edge for up in deletes] == [(0, 1)]
+
+    def test_batch_limit_enforced(self):
+        alg = _Recorder(MPCConfig(n=16, phi=0.5, seed=0), batch_limit=2)
+        with pytest.raises(BatchTooLargeError):
+            alg.apply_batch([ins(0, 1), ins(1, 2), ins(2, 3)])
+
+    def test_apply_update_is_singleton_phase(self):
+        alg = _Recorder(MPCConfig(n=16, phi=0.5, seed=0))
+        snap = alg.apply_update(ins(4, 5))
+        assert snap.batch_size == 1
+
+    def test_rounds_helpers(self):
+        alg = _Recorder(MPCConfig(n=16, phi=0.5, seed=0))
+        alg.apply_batch([ins(0, 1)])
+        alg.apply_batch([ins(1, 2)])
+        assert len(alg.rounds_per_phase()) == 2
+        assert alg.max_rounds() >= 1

@@ -1,0 +1,125 @@
+"""Baseline and oracle tests."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_valid_batch
+from repro.baselines import (
+    AGMStaticConnectivity,
+    DynamicConnectivityOracle,
+    FullGraphConnectivity,
+    UnionFind,
+    component_sets,
+    greedy_matching_size,
+    maximum_matching_size,
+    msf_weight,
+)
+from repro.mpc import MPCConfig
+from repro.types import dele, ins
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.connected(0, 1)
+        assert uf.components == 4
+
+
+class TestOracle:
+    def test_matches_manual_components(self):
+        oracle = DynamicConnectivityOracle(5)
+        oracle.insert(0, 1)
+        oracle.insert(1, 2)
+        oracle.delete(1, 2)
+        assert oracle.component_sets() == [(0, 1), (2,), (3,), (4,)]
+        assert oracle.num_edges == 1
+
+    def test_validates_updates(self):
+        oracle = DynamicConnectivityOracle(3)
+        oracle.insert(0, 1)
+        with pytest.raises(ValueError):
+            oracle.insert(1, 0)
+        with pytest.raises(ValueError):
+            oracle.delete(0, 2)
+
+
+class TestAGMStatic:
+    def test_update_rounds_constant_query_rounds_logarithmic(self):
+        n = 64
+        alg = AGMStaticConnectivity(MPCConfig(n=n, phi=0.5, seed=1))
+        oracle = DynamicConnectivityOracle(n)
+        # A long path forces multiple AGM halving iterations: sampling
+        # one incident edge per vertex cannot contract a path in one go.
+        from repro.streams import as_batches, path_insertions
+        for batch in as_batches(path_insertions(n, seed=2), 8):
+            alg.apply_batch(batch)
+            oracle.apply_batch(batch)
+        update_rounds = alg.max_rounds()
+        solution, query_metrics = alg.query_with_metrics()
+        assert update_rounds <= 12, "sketch updates are O(1) rounds"
+        # The query pays per halving iteration (the paper's point: no
+        # maintained forest means O(log n) contraction rounds at query
+        # time; at laptop n the iteration count is small but > 1).
+        assert alg.stats["query_iterations"] >= 2
+        assert query_metrics.rounds >= 2 * alg.stats["query_iterations"]
+        forest_components = n - len(solution.edges)
+        assert forest_components == oracle.num_components()
+
+    def test_query_recovers_forest_of_current_graph(self):
+        n = 32
+        alg = AGMStaticConnectivity(MPCConfig(n=n, phi=0.5, seed=2))
+        alg.apply_batch([ins(i, i + 1) for i in range(10)])
+        alg.apply_batch([dele(3, 4)])
+        solution, _ = alg.query_with_metrics()
+        assert len(solution.edges) == 9
+        assert (3, 4) not in solution.edges
+
+    def test_connected_via_query(self):
+        alg = AGMStaticConnectivity(MPCConfig(n=16, phi=0.5, seed=3))
+        alg.apply_batch([ins(0, 1), ins(1, 2)])
+        assert alg.connected(0, 2)
+        assert not alg.connected(0, 5)
+
+
+class TestFullGraph:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_oracle_under_churn(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 32
+        alg = FullGraphConnectivity(MPCConfig(n=n, phi=0.5, seed=seed))
+        oracle = DynamicConnectivityOracle(n)
+        for _ in range(15):
+            live = {e for e in oracle.edges()}
+            batch = make_valid_batch(rng, n, live, size=6)
+            alg.apply_batch(batch)
+            oracle.apply_batch(batch)
+            assert alg.num_components() == oracle.num_components()
+            alg.forest.check_invariants()
+
+    def test_memory_grows_with_m(self):
+        n = 64
+        alg = FullGraphConnectivity(MPCConfig(n=n, phi=0.5, seed=1))
+        alg.apply_batch([ins(0, 1)])
+        sparse = alg.total_memory_words()
+        batch = [ins(u, v) for u in range(0, 20)
+                 for v in range(u + 1, 20) if (u, v) != (0, 1)]
+        alg.apply_batch(batch[:alg.batch_limit])
+        dense = alg.total_memory_words()
+        assert dense > sparse, "Theta(n+m) must grow with m"
+
+
+class TestOfflineHelpers:
+    def test_maximum_matching(self):
+        edges = [(0, 1), (2, 3), (1, 2)]
+        assert maximum_matching_size(6, edges) == 2
+
+    def test_greedy_matching(self):
+        assert greedy_matching_size([(0, 1), (1, 2), (3, 4)]) == 2
+
+    def test_msf_weight(self):
+        assert msf_weight(3, [(0, 1, 5.0), (1, 2, 2.0), (0, 2, 1.0)]) == 3.0
+
+    def test_component_sets(self):
+        assert component_sets(4, [(0, 1)]) == [(0, 1), (2,), (3,)]

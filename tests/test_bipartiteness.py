@@ -1,0 +1,73 @@
+"""Dynamic bipartiteness tests (Theorem 7.3)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_valid_batch
+from repro.baselines import is_bipartite as nx_bipartite
+from repro.core import DynamicBipartiteness
+from repro.mpc import MPCConfig
+from repro.streams import even_cycle_insertions, odd_cycle_insertions
+from repro.types import dele, ins
+
+
+class TestCycles:
+    def test_empty_graph_is_bipartite(self):
+        alg = DynamicBipartiteness(MPCConfig(n=8, phi=0.5, seed=0))
+        assert alg.is_bipartite()
+
+    def test_even_cycle_bipartite(self):
+        alg = DynamicBipartiteness(MPCConfig(n=12, phi=0.5, seed=0))
+        alg.apply_batch(even_cycle_insertions(10))
+        assert alg.is_bipartite()
+
+    def test_odd_cycle_not_bipartite(self):
+        alg = DynamicBipartiteness(MPCConfig(n=12, phi=0.5, seed=0))
+        alg.apply_batch(odd_cycle_insertions(9))
+        assert not alg.is_bipartite()
+
+    def test_triangle_toggle(self):
+        alg = DynamicBipartiteness(MPCConfig(n=6, phi=0.5, seed=1))
+        alg.apply_batch([ins(0, 1), ins(1, 2)])
+        assert alg.is_bipartite()
+        alg.apply_batch([ins(0, 2)])
+        assert not alg.is_bipartite()
+        alg.apply_batch([dele(0, 2)])
+        assert alg.is_bipartite()
+
+    def test_disconnected_components_each_count(self):
+        alg = DynamicBipartiteness(MPCConfig(n=10, phi=0.5, seed=2))
+        alg.apply_batch([ins(0, 1), ins(1, 2), ins(0, 2),  # odd triangle
+                         ins(5, 6), ins(6, 7)])            # bipartite path
+        assert not alg.is_bipartite()
+        alg.apply_batch([dele(1, 2)])
+        assert alg.is_bipartite()
+
+
+class TestRandomGraphs:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        alg = DynamicBipartiteness(MPCConfig(n=n, phi=0.5, seed=seed))
+        live = set()
+        for _ in range(12):
+            batch = make_valid_batch(rng, n, live, size=4,
+                                     delete_fraction=0.3)
+            alg.apply_batch(batch)
+            assert alg.is_bipartite() == nx_bipartite(n, live)
+
+
+class TestResources:
+    def test_memory_registers_both_instances(self):
+        alg = DynamicBipartiteness(MPCConfig(n=8, phi=0.5, seed=0))
+        alg.apply_batch([ins(0, 1)])
+        breakdown = alg.memory_breakdown()
+        assert {"base-instance", "cover-instance"} <= set(breakdown)
+        # The double cover costs roughly 2x the base, not more.
+        assert breakdown["cover-instance"] <= 4 * breakdown["base-instance"]
+
+    def test_rounds_bounded(self):
+        alg = DynamicBipartiteness(MPCConfig(n=16, phi=0.5, seed=0))
+        alg.apply_batch(even_cycle_insertions(12))
+        assert alg.max_rounds() <= 80

@@ -1,0 +1,185 @@
+"""The headline algorithm (Theorem 1.1): correctness, rounds, memory."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_valid_batch
+from repro.analysis import connectivity_total_memory_bound
+from repro.baselines import DynamicConnectivityOracle
+from repro.core import MPCConnectivity
+from repro.errors import BatchTooLargeError, InvalidUpdateError
+from repro.mpc import MPCConfig
+from repro.types import dele, ins
+
+
+def alg_components(alg, n):
+    groups = {}
+    for v in range(n):
+        groups.setdefault(alg.components.id_of(v), set()).add(v)
+    return sorted(tuple(sorted(g)) for g in groups.values())
+
+
+class TestBatchValidation:
+    def test_oversized_batch_rejected(self):
+        config = MPCConfig(n=16, phi=0.5, seed=0)
+        alg = MPCConnectivity(config, batch_limit=3)
+        with pytest.raises(BatchTooLargeError):
+            alg.apply_batch([ins(i, i + 1) for i in range(4)])
+
+    def test_duplicate_insert_rejected(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=0))
+        alg.apply_batch([ins(0, 1)])
+        with pytest.raises(InvalidUpdateError):
+            alg.apply_batch([ins(1, 0)])
+
+    def test_phantom_delete_rejected(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=0))
+        with pytest.raises(InvalidUpdateError):
+            alg.apply_batch([dele(0, 1)])
+
+    def test_empty_batch_ok(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=0))
+        snap = alg.apply_batch([])
+        assert snap.batch_size == 0
+
+
+class TestSemantics:
+    def test_insert_only_components(self):
+        alg = MPCConnectivity(MPCConfig(n=10, phi=0.5, seed=1))
+        alg.apply_batch([ins(0, 1), ins(1, 2), ins(5, 6)])
+        assert alg.connected(0, 2)
+        assert not alg.connected(0, 5)
+        assert alg.num_components() == 10 - 3
+
+    def test_batch_chain_merge(self):
+        """A batch whose edges chain many components at once."""
+        alg = MPCConnectivity(MPCConfig(n=12, phi=0.5, seed=1))
+        alg.apply_batch([ins(i, i + 1) for i in range(11)])
+        assert alg.num_components() == 1
+        sol = alg.query_spanning_forest()
+        assert len(sol.edges) == 11
+
+    def test_parallel_h_edges_become_non_tree(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=1))
+        alg.apply_batch([ins(0, 1)])
+        alg.apply_batch([ins(2, 3)])
+        # Two edges between the same pair of components: one tree edge.
+        alg.apply_batch([ins(0, 2), ins(1, 3)])
+        sol = alg.query_spanning_forest()
+        assert len(sol.edges) == 3
+        assert alg.num_components() == 5
+
+    def test_deletion_with_replacement(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=2))
+        alg.apply_batch([ins(0, 1), ins(1, 2), ins(0, 2)])
+        tree = set(alg.query_spanning_forest().edges)
+        victim = sorted(tree)[0]
+        alg.apply_batch([dele(*victim)])
+        assert alg.connected(0, 2)
+        assert alg.stats["replacement_edges"] >= 1
+
+    def test_deletion_without_replacement_splits(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=2))
+        alg.apply_batch([ins(0, 1), ins(1, 2)])
+        alg.apply_batch([dele(1, 2)])
+        assert not alg.connected(0, 2)
+        assert alg.connected(0, 1)
+
+    def test_mixed_batch_insert_then_delete(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=3))
+        alg.apply_batch([ins(0, 1), ins(1, 2)])
+        # One batch both inserts an edge and deletes a tree edge.
+        alg.apply_batch([ins(0, 2), dele(0, 1)])
+        assert alg.connected(0, 1)  # via 0-2-1
+        assert alg.num_edges == 2
+
+    def test_shatter_star_batch(self):
+        n = 16
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=4))
+        alg.apply_batch([ins(0, v) for v in range(1, n)])
+        alg.apply_batch([dele(0, v) for v in range(1, n)])
+        assert alg.num_components() == n
+
+
+class TestRandomStreamsAgainstOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_churn_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 40
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=seed))
+        oracle = DynamicConnectivityOracle(n)
+        live = set()
+        for _ in range(30):
+            batch = make_valid_batch(rng, n, live,
+                                     size=int(rng.integers(1, 9)))
+            alg.apply_batch(batch)
+            oracle.apply_batch(batch)
+            assert alg_components(alg, n) == oracle.component_sets()
+            sol = alg.query_spanning_forest()
+            assert len(sol.edges) == n - oracle.num_components()
+            alg.forest.check_invariants()
+        assert alg.stats["sketch_failures"] == 0
+
+
+class TestResourceClaims:
+    def test_rounds_constant_across_phases(self):
+        rng = np.random.default_rng(1)
+        n = 48
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=1))
+        live = set()
+        for _ in range(20):
+            alg.apply_batch(make_valid_batch(rng, n, live, size=8))
+        rounds = alg.rounds_per_phase()
+        # Constant rounds: no phase takes more than a fixed budget,
+        # and the spread is tiny (no dependence on graph size/history).
+        assert max(rounds) <= 80
+        assert max(rounds) - min(r for r in rounds if r > 0) <= 40
+
+    def test_query_rounds_constant(self):
+        alg = MPCConnectivity(MPCConfig(n=64, phi=0.5, seed=2))
+        alg.apply_batch([ins(i, i + 1) for i in range(20)])
+        _, metrics = alg.query_with_metrics()
+        assert metrics.rounds <= 10
+
+    def test_total_memory_within_theorem_bound(self):
+        n = 128
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=3))
+        rng = np.random.default_rng(0)
+        live = set()
+        for _ in range(10):
+            alg.apply_batch(make_valid_batch(rng, n, live, size=16,
+                                             delete_fraction=0.1))
+        assert alg.total_memory_words() <= \
+            connectivity_total_memory_bound(n)
+
+    def test_memory_independent_of_m(self):
+        """The ~O(n) claim: registered memory does not scale with the
+        number of non-tree edges."""
+        n = 64
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=4))
+        rng = np.random.default_rng(2)
+        live = set()
+        alg.apply_batch(make_valid_batch(rng, n, live, size=10,
+                                         delete_fraction=0.0))
+        sparse_memory = alg.total_memory_words()
+        for _ in range(25):
+            alg.apply_batch(make_valid_batch(rng, n, live, size=16,
+                                             delete_fraction=0.0))
+        dense_memory = alg.total_memory_words()
+        # Only the forest part (O(n)) may grow; sketches dominate.
+        assert dense_memory <= sparse_memory + 4 * n
+
+    def test_memory_breakdown_names(self):
+        alg = MPCConnectivity(MPCConfig(n=16, phi=0.5, seed=0))
+        breakdown = alg.memory_breakdown()
+        assert {"sketches", "forest", "component-ids"} <= set(breakdown)
+
+
+class TestStrictMode:
+    def test_strict_raises_only_on_failure(self):
+        # With default columns, ordinary streams do not fail.
+        alg = MPCConnectivity(MPCConfig(n=16, phi=0.5, seed=5),
+                              strict=True)
+        alg.apply_batch([ins(0, 1), ins(1, 2), ins(0, 2)])
+        alg.apply_batch([dele(0, 1)])
+        assert alg.connected(0, 1)

@@ -1,0 +1,66 @@
+"""Edge <-> coordinate bijection tests (exhaustive + property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import decode_index, edge_sign, encode_edge, num_pairs
+
+
+class TestNumPairs:
+    def test_small_values(self):
+        assert num_pairs(2) == 1
+        assert num_pairs(5) == 10
+        assert num_pairs(100) == 4950
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [2, 3, 7, 20, 53])
+    def test_exhaustive(self, n):
+        seen = set()
+        for u in range(n):
+            for v in range(u + 1, n):
+                idx = encode_edge(n, u, v)
+                assert 0 <= idx < num_pairs(n)
+                assert idx not in seen, "coding must be injective"
+                seen.add(idx)
+                assert decode_index(n, idx) == (u, v)
+        assert len(seen) == num_pairs(n)
+
+    def test_order_independent(self):
+        assert encode_edge(10, 7, 2) == encode_edge(10, 2, 7)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(2, 5000), st.data())
+    def test_property_round_trip(self, n, data):
+        idx = data.draw(st.integers(0, num_pairs(n) - 1))
+        u, v = decode_index(n, idx)
+        assert 0 <= u < v < n
+        assert encode_edge(n, u, v) == idx
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            encode_edge(10, 3, 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_edge(10, 0, 10)
+        with pytest.raises(ValueError):
+            decode_index(10, num_pairs(10))
+        with pytest.raises(ValueError):
+            decode_index(10, -1)
+
+
+class TestEdgeSign:
+    def test_convention(self):
+        assert edge_sign(9, 4, 9) == 1
+        assert edge_sign(4, 4, 9) == -1
+
+    def test_signs_cancel(self):
+        assert edge_sign(4, 4, 9) + edge_sign(9, 4, 9) == 0
+
+    def test_non_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            edge_sign(5, 4, 9)

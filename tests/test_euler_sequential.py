@@ -1,0 +1,151 @@
+"""Reference Euler-tour forest tests."""
+
+import numpy as np
+import pytest
+
+from repro.euler import (
+    EulerTourForest,
+    Tour,
+    join_tours,
+    rotate_tour,
+    split_tour,
+)
+
+
+class TestTour:
+    def test_singleton(self):
+        tour = Tour(5)
+        assert len(tour) == 0
+        assert tour.vertices() == {5}
+        tour.validate()
+
+    def test_two_vertex_tour(self):
+        tour = Tour(0, [(0, 1), (1, 0)])
+        tour.validate()
+        assert tour.num_vertices == 2
+        assert tour.first_exit(0) == 0
+        assert tour.first_exit(1) == 1
+
+    def test_validate_rejects_broken_walk(self):
+        bad = Tour(0, [(0, 1), (2, 0)])
+        with pytest.raises(AssertionError):
+            bad.validate()
+
+    def test_validate_rejects_wrong_root(self):
+        bad = Tour(1, [(0, 1), (1, 0)])
+        with pytest.raises(AssertionError):
+            bad.validate()
+
+
+class TestRotation:
+    def test_rotation_preserves_tree(self):
+        tour = Tour(0, [(0, 1), (1, 2), (2, 1), (1, 0)])
+        rotated = rotate_tour(tour, 2)
+        rotated.validate()
+        assert rotated.root == 2
+        assert rotated.vertices() == tour.vertices()
+
+    def test_rotation_to_same_root_is_identity(self):
+        tour = Tour(0, [(0, 1), (1, 0)])
+        assert rotate_tour(tour, 0).edges == tour.edges
+
+
+class TestJoinSplit:
+    def test_join_then_split_round_trip(self):
+        left = Tour(0, [(0, 1), (1, 0)])
+        right = Tour(2, [(2, 3), (3, 2)])
+        joined = join_tours(left, 1, right, 3)
+        joined.validate()
+        assert joined.vertices() == {0, 1, 2, 3}
+        rest, severed = split_tour(joined, 1, 3)
+        rest.validate()
+        severed.validate()
+        assert rest.vertices() == {0, 1}
+        assert severed.vertices() == {2, 3}
+        assert severed.root == 3
+
+    def test_split_missing_edge_rejected(self):
+        tour = Tour(0, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            split_tour(tour, 0, 2)
+
+
+class TestForest:
+    def test_initial_state(self):
+        forest = EulerTourForest(5)
+        forest.validate()
+        assert not forest.connected(0, 1)
+        assert len(list(forest.components())) == 5
+
+    def test_link_cut_cycle(self):
+        forest = EulerTourForest(6)
+        forest.link(0, 1)
+        forest.link(1, 2)
+        forest.link(4, 5)
+        forest.validate()
+        assert forest.connected(0, 2)
+        assert not forest.connected(0, 4)
+        forest.cut(1, 2)
+        forest.validate()
+        assert not forest.connected(0, 2)
+        assert forest.connected(0, 1)
+
+    def test_double_link_rejected(self):
+        forest = EulerTourForest(3)
+        forest.link(0, 1)
+        with pytest.raises(ValueError):
+            forest.link(1, 0)
+
+    def test_cut_cross_tree_rejected(self):
+        forest = EulerTourForest(4)
+        forest.link(0, 1)
+        with pytest.raises(ValueError):
+            forest.cut(0, 2)
+
+    def test_path_edges(self):
+        forest = EulerTourForest(7)
+        for u, v in [(0, 1), (1, 2), (2, 3), (1, 4)]:
+            forest.link(u, v)
+        assert forest.path_edges(0, 3) == [(0, 1), (1, 2), (2, 3)]
+        assert forest.path_edges(4, 2) == [(1, 4), (1, 2)] or \
+            forest.path_edges(4, 2) == [(1, 4), (1, 2)]
+        assert forest.path_edges(3, 3) == []
+
+    def test_path_across_trees_rejected(self):
+        forest = EulerTourForest(4)
+        with pytest.raises(ValueError):
+            forest.path_edges(0, 3)
+
+    def test_random_link_cut_stress(self):
+        rng = np.random.default_rng(7)
+        n = 24
+        forest = EulerTourForest(n)
+        tree_edges = set()
+        for _ in range(300):
+            if tree_edges and rng.random() < 0.4:
+                edge = sorted(tree_edges)[int(rng.integers(0,
+                                              len(tree_edges)))]
+                forest.cut(*edge)
+                tree_edges.discard(edge)
+            else:
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u != v and not forest.connected(u, v):
+                    forest.link(u, v)
+                    tree_edges.add((min(u, v), max(u, v)))
+            forest.validate()
+
+    def test_tree_edges_listing(self):
+        forest = EulerTourForest(5)
+        forest.link(0, 1)
+        forest.link(1, 2)
+        assert sorted(forest.tree_edges(0)) == [(0, 1), (1, 2)]
+        assert sorted(forest.all_edges()) == [(0, 1), (1, 2)]
+
+    def test_reroot_keeps_structure(self):
+        forest = EulerTourForest(4)
+        forest.link(0, 1)
+        forest.link(1, 2)
+        forest.reroot(2)
+        forest.validate()
+        assert forest.connected(0, 2)

@@ -1,0 +1,106 @@
+"""AGM graph-sketch tests: the cut-edge sampling property (Lemma 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import MergedSketch, SketchFamily
+
+
+def build(n=30, columns=8, seed=4):
+    family = SketchFamily(n, columns, np.random.default_rng(seed))
+    sketches = {v: family.new_vertex_sketch(v) for v in range(n)}
+    return family, sketches
+
+
+def insert(sketches, u, v):
+    sketches[u].apply_edge(u, v, 1)
+    sketches[v].apply_edge(u, v, 1)
+
+
+def delete(sketches, u, v):
+    sketches[u].apply_edge(u, v, -1)
+    sketches[v].apply_edge(u, v, -1)
+
+
+class TestVertexSketch:
+    def test_non_endpoint_update_rejected(self):
+        family, sketches = build()
+        with pytest.raises(ValueError):
+            sketches[5].apply_edge(1, 2, 1)
+
+    def test_single_vertex_samples_incident_edge(self):
+        _, sketches = build()
+        insert(sketches, 3, 17)
+        merged = MergedSketch.of([sketches[3]])
+        assert merged.sample_cut_edge_any() == (3, 17)
+
+    def test_words_per_vertex(self):
+        family, sketches = build(columns=6)
+        assert sketches[0].words == family.words_per_vertex
+
+
+class TestMergedSketch:
+    def test_internal_edges_cancel(self):
+        """Lemma 3.3: X_A's support is exactly the cut E(A, V-A)."""
+        _, sketches = build()
+        # Component A = {0,1,2,3} fully wired internally, one cut edge.
+        for u, v in [(0, 1), (1, 2), (2, 3), (0, 2), (0, 3)]:
+            insert(sketches, u, v)
+        insert(sketches, 3, 20)
+        merged = MergedSketch.of([sketches[v] for v in (0, 1, 2, 3)])
+        assert not merged.cut_is_empty()
+        assert merged.sample_cut_edge_any() == (3, 20)
+
+    def test_empty_cut_detected(self):
+        _, sketches = build()
+        for u, v in [(0, 1), (1, 2)]:
+            insert(sketches, u, v)
+        merged = MergedSketch.of([sketches[v] for v in (0, 1, 2)])
+        assert merged.cut_is_empty()
+        assert merged.sample_cut_edge_any() is None
+
+    def test_cut_closes_after_deletion(self):
+        _, sketches = build()
+        insert(sketches, 0, 1)
+        insert(sketches, 1, 9)
+        merged = MergedSketch.of([sketches[0], sketches[1]])
+        assert merged.sample_cut_edge_any() == (1, 9)
+        delete(sketches, 1, 9)
+        merged = MergedSketch.of([sketches[0], sketches[1]])
+        assert merged.cut_is_empty()
+
+    def test_sample_among_multiple_cut_edges(self):
+        _, sketches = build(seed=9)
+        cut = {(0, 10), (1, 11), (2, 12), (3, 13)}
+        for u, v in [(0, 1), (1, 2), (2, 3)]:
+            insert(sketches, u, v)
+        for u, v in cut:
+            insert(sketches, u, v)
+        merged = MergedSketch.of([sketches[v] for v in (0, 1, 2, 3)])
+        for column in range(6):
+            got = merged.sample_cut_edge(column)
+            if got is not None:
+                assert got in cut
+
+    def test_whole_graph_merge_is_zero(self):
+        """Summing every vertex's sketch cancels every edge."""
+        _, sketches = build(n=20, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            u, v = rng.choice(20, size=2, replace=False)
+            try:
+                insert(sketches, int(u), int(v))
+            except Exception:
+                pass
+        merged = MergedSketch.of(list(sketches.values()))
+        assert merged.cut_is_empty()
+
+    def test_mixed_families_rejected(self):
+        _, sketches_a = build(seed=1)
+        _, sketches_b = build(seed=2)
+        with pytest.raises(ValueError):
+            MergedSketch.of([sketches_a[0], sketches_b[1]])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            MergedSketch.of([])

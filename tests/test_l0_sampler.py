@@ -1,0 +1,137 @@
+"""L0-sampler tests, including the linearity property the paper's
+algorithms depend on (Remark 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import L0Sampler, SamplerRandomness, levels_for_universe
+
+
+def make(universe=2000, columns=6, seed=1):
+    rnd = SamplerRandomness(universe, columns, np.random.default_rng(seed))
+    return rnd, L0Sampler(rnd)
+
+
+class TestLevels:
+    def test_levels_grow_with_universe(self):
+        assert levels_for_universe(10) < levels_for_universe(10 ** 6)
+
+    def test_bad_universe(self):
+        with pytest.raises(ValueError):
+            levels_for_universe(0)
+
+
+class TestSampling:
+    def test_empty_is_zero(self):
+        _, sampler = make()
+        assert sampler.is_zero()
+        assert sampler.sample() is None
+
+    def test_singleton_support(self):
+        _, sampler = make()
+        sampler.update(1234, 1)
+        assert not sampler.is_zero()
+        assert sampler.sample() == 1234
+
+    def test_sample_from_support_only(self):
+        _, sampler = make(seed=3)
+        support = {3, 77, 500, 1999}
+        for idx in support:
+            sampler.update(idx, 1)
+        for start in range(4):
+            got = sampler.sample(start_column=start)
+            assert got in support
+
+    def test_insert_delete_cancels(self):
+        _, sampler = make()
+        for idx in (5, 10, 15):
+            sampler.update(idx, 1)
+        for idx in (5, 10, 15):
+            sampler.update(idx, -1)
+        assert sampler.is_zero()
+        assert sampler.sample() is None
+
+    def test_out_of_universe_rejected(self):
+        _, sampler = make(universe=100)
+        with pytest.raises(ValueError):
+            sampler.update(100, 1)
+
+    def test_zero_delta_is_noop(self):
+        _, sampler = make()
+        sampler.update(4, 0)
+        assert sampler.is_zero()
+
+    def test_success_rate_over_seeds(self):
+        """Each sampler (with several columns) should essentially always
+        return a support element for moderate supports."""
+        failures = 0
+        for seed in range(30):
+            rnd, sampler = make(universe=5000, columns=6, seed=seed)
+            support = set(np.random.default_rng(seed).integers(0, 5000, 40))
+            for idx in support:
+                sampler.update(int(idx), 1)
+            got = sampler.sample()
+            if got is None or got not in support:
+                failures += 1
+        assert failures == 0
+
+
+class TestMerging:
+    def test_merged_samples_symmetric_difference(self):
+        rnd = SamplerRandomness(1000, 6, np.random.default_rng(2))
+        a = L0Sampler(rnd)
+        b = L0Sampler(rnd)
+        a.update(10, 1)
+        a.update(20, 1)
+        b.update(20, -1)  # cancels across the merge
+        b.update(30, 1)
+        merged = L0Sampler.merged([a, b])
+        assert merged.sample() in {10, 30}
+
+    def test_merge_requires_same_randomness(self):
+        _, a = make(seed=1)
+        _, b = make(seed=2)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+        with pytest.raises(ValueError):
+            L0Sampler.merged([a, b])
+
+    def test_merge_from_in_place(self):
+        rnd = SamplerRandomness(100, 4, np.random.default_rng(0))
+        a, b = L0Sampler(rnd), L0Sampler(rnd)
+        a.update(7, 1)
+        b.update(7, -1)
+        a.merge_from(b)
+        assert a.is_zero()
+
+    def test_copy_independence(self):
+        _, a = make()
+        a.update(9, 1)
+        dup = a.copy()
+        a.update(9, -1)
+        assert dup.sample() == 9
+        assert a.is_zero()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 499),
+                              st.sampled_from([1, -1])),
+                    min_size=0, max_size=60))
+    def test_linearity_property(self, ops):
+        """Splitting a stream across two samplers and merging equals
+        feeding one sampler the whole stream."""
+        rnd = SamplerRandomness(500, 4, np.random.default_rng(11))
+        whole = L0Sampler(rnd)
+        left, right = L0Sampler(rnd), L0Sampler(rnd)
+        for i, (idx, delta) in enumerate(ops):
+            whole.update(idx, delta)
+            (left if i % 2 == 0 else right).update(idx, delta)
+        merged = L0Sampler.merged([left, right])
+        assert np.array_equal(merged.matrix.W, whole.matrix.W)
+        assert np.array_equal(merged.matrix.S, whole.matrix.S)
+        assert np.array_equal(merged.matrix.F, whole.matrix.F)
+
+    def test_words(self):
+        rnd, sampler = make(columns=5)
+        assert sampler.words == 3 * 5 * rnd.levels

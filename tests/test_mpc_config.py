@@ -1,0 +1,82 @@
+"""Unit tests for the MPC model configuration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpc import MPCConfig, polylog
+
+
+class TestValidation:
+    @pytest.mark.parametrize("phi", [0.0, 1.0, -0.2, 1.5])
+    def test_phi_range(self, phi):
+        with pytest.raises(ConfigurationError):
+            MPCConfig(n=100, phi=phi)
+
+    def test_min_vertices(self):
+        with pytest.raises(ConfigurationError):
+            MPCConfig(n=1)
+
+    def test_bad_factors(self):
+        with pytest.raises(ConfigurationError):
+            MPCConfig(n=10, mem_factor=0)
+        with pytest.raises(ConfigurationError):
+            MPCConfig(n=10, total_memory_factor=-1)
+
+    def test_bad_machine_override(self):
+        with pytest.raises(ConfigurationError):
+            MPCConfig(n=10, num_machines=0)
+
+
+class TestDerivedQuantities:
+    def test_local_memory_scales_with_phi(self):
+        small = MPCConfig(n=4096, phi=0.25).local_memory
+        large = MPCConfig(n=4096, phi=0.75).local_memory
+        assert small < large
+
+    def test_local_memory_formula(self):
+        config = MPCConfig(n=256, phi=0.5, mem_factor=2.0)
+        assert config.local_memory == math.ceil(2.0 * 16)
+
+    def test_machine_count_covers_budget(self):
+        config = MPCConfig(n=1024, phi=0.5)
+        total = config.machine_count * config.local_memory
+        assert total >= config.total_memory_budget
+
+    def test_machine_count_override(self):
+        config = MPCConfig(n=64, num_machines=5)
+        assert config.machine_count == 5
+
+    def test_batch_bound_is_local_memory(self):
+        config = MPCConfig(n=400, phi=0.5)
+        assert config.batch_bound == config.local_memory
+
+    def test_paper_batch_bound_smaller(self):
+        config = MPCConfig(n=2 ** 16, phi=0.5)
+        assert config.paper_batch_bound() <= config.batch_bound
+        assert config.paper_batch_bound() >= 1
+
+    def test_sketch_columns_grow_logarithmically(self):
+        c1 = MPCConfig(n=64).sketch_columns
+        c2 = MPCConfig(n=4096).sketch_columns
+        assert c1 < c2
+        assert c2 <= 4 * math.log2(4096)
+
+    def test_fanout_floor(self):
+        config = MPCConfig(n=16, phi=0.25, mem_factor=1.0)
+        assert config.fanout(words_per_message=10 ** 6) == 2
+
+    def test_describe_mentions_key_figures(self):
+        config = MPCConfig(n=64, phi=0.5)
+        text = config.describe()
+        assert "n=64" in text and "phi=0.5" in text
+
+
+class TestPolylog:
+    def test_tiny_n(self):
+        assert polylog(1) == 1.0
+        assert polylog(2) == 1.0
+
+    def test_formula(self):
+        assert polylog(256, power=2) == pytest.approx(64.0)

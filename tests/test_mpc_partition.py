@@ -1,0 +1,54 @@
+"""Vertex/edge placement tests."""
+
+import pytest
+
+from repro.mpc import VertexPartition
+
+
+class TestVertexPartition:
+    def test_every_vertex_mapped(self):
+        part = VertexPartition(100, 7)
+        machines = {part.machine_of_vertex(v) for v in range(100)}
+        assert machines <= set(range(7))
+
+    def test_blocks_are_contiguous(self):
+        part = VertexPartition(20, 4)
+        for m in range(4):
+            vertices = list(part.vertices_of(m))
+            assert vertices == sorted(vertices)
+            for v in vertices:
+                assert part.machine_of_vertex(v) == m
+
+    def test_covers_all_vertices(self):
+        part = VertexPartition(23, 5)
+        covered = []
+        for m in range(5):
+            covered.extend(part.vertices_of(m))
+        assert sorted(covered) == list(range(23))
+
+    def test_edge_follows_min_endpoint(self):
+        part = VertexPartition(40, 4)
+        assert (part.machine_of_edge((3, 35))
+                == part.machine_of_vertex(3))
+
+    def test_out_of_range_rejected(self):
+        part = VertexPartition(10, 2)
+        with pytest.raises(ValueError):
+            part.machine_of_vertex(10)
+
+    def test_load_histogram(self):
+        part = VertexPartition(10, 2)
+        loads = part.load_histogram([(0, 1), (0, 2), (7, 9)])
+        assert sum(loads) == 3
+
+    def test_spread_balanced(self):
+        part = VertexPartition(10, 4)
+        spread = part.spread(10)
+        assert sum(spread.values()) == 10
+        assert max(spread.values()) - min(spread.values()) <= 1
+
+    def test_degenerate_params_rejected(self):
+        with pytest.raises(ValueError):
+            VertexPartition(0, 3)
+        with pytest.raises(ValueError):
+            VertexPartition(5, 0)

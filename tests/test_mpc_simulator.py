@@ -1,0 +1,130 @@
+"""Tests for the cluster simulator: exchange semantics, capacity
+enforcement, and the closed-form round charges."""
+
+import pytest
+
+from repro.errors import CapacityExceededError
+from repro.mpc import Cluster, MPCConfig
+from repro.mpc.machine import Message
+from repro.mpc.simulator import tree_depth
+
+
+class TestTreeDepth:
+    def test_single_node(self):
+        assert tree_depth(1, 4) == 0
+
+    def test_exact_powers(self):
+        assert tree_depth(16, 4) == 2
+        assert tree_depth(17, 4) == 3
+
+    def test_fanout_two(self):
+        assert tree_depth(8, 2) == 3
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            tree_depth(4, 1)
+
+
+class TestExchange:
+    def test_delivery_and_counters(self, small_cluster):
+        msgs = [Message(src=0, dst=1, payload="x", words=2),
+                Message(src=0, dst=2, payload="y", words=1)]
+        before = small_cluster.metrics.rounds
+        inboxes = small_cluster.exchange(msgs)
+        assert small_cluster.metrics.rounds == before + 1
+        assert inboxes[1][0].payload == "x"
+        assert inboxes[2][0].payload == "y"
+        assert small_cluster.metrics.messages >= 2
+        assert small_cluster.metrics.words_sent >= 3
+
+    def test_bad_destination_rejected(self, small_cluster):
+        bad = [Message(src=0, dst=10 ** 9, payload=None, words=1)]
+        with pytest.raises(ValueError):
+            small_cluster.exchange(bad)
+
+    def test_capacity_violation_recorded(self):
+        config = MPCConfig(n=16, phi=0.5, seed=0, strict_capacity=False)
+        cluster = Cluster(config)
+        flood = [Message(src=0, dst=1, payload=None,
+                         words=cluster.local_memory + 1)]
+        cluster.exchange(flood)
+        assert len(cluster.metrics.violations) >= 1
+
+    def test_capacity_violation_strict_raises(self):
+        config = MPCConfig(n=16, phi=0.5, seed=0, strict_capacity=True)
+        cluster = Cluster(config)
+        flood = [Message(src=0, dst=1, payload=None,
+                         words=cluster.local_memory + 1)]
+        with pytest.raises(CapacityExceededError):
+            cluster.exchange(flood)
+
+    def test_store_capacity_audit(self):
+        config = MPCConfig(n=16, phi=0.5, strict_capacity=False)
+        cluster = Cluster(config)
+        cluster.machine(0).put("blob", None,
+                               words=cluster.local_memory + 5)
+        cluster.check_store_capacities()
+        assert any(v.what == "store" for v in cluster.metrics.violations)
+
+
+class TestCharges:
+    def test_local_is_one_round(self, small_cluster):
+        assert small_cluster.charge_local() == 1
+
+    def test_broadcast_depth_positive(self, small_cluster):
+        rounds = small_cluster.charge_broadcast(words=1)
+        assert rounds >= 1
+        depth = tree_depth(small_cluster.num_machines,
+                           small_cluster.config.fanout(1))
+        assert rounds == max(1, depth)
+
+    def test_broadcast_bigger_messages_cost_more(self):
+        cluster = Cluster(MPCConfig(n=1024, phi=0.33, seed=0))
+        cheap = cluster.charge_broadcast(words=1)
+        costly = cluster.charge_broadcast(words=cluster.local_memory // 2)
+        assert costly >= cheap
+
+    def test_converge_matches_broadcast(self, small_cluster):
+        assert (small_cluster.charge_converge(words=1)
+                == small_cluster.charge_broadcast(words=1))
+
+    def test_gather_flags_oversized_result(self):
+        config = MPCConfig(n=16, phi=0.5, strict_capacity=False)
+        cluster = Cluster(config)
+        cluster.charge_gather(total_words=cluster.local_memory * 10)
+        assert len(cluster.metrics.violations) >= 1
+
+    def test_sort_charge_formula(self, small_cluster):
+        import math
+        rounds = small_cluster.charge_sort(1000)
+        depth = math.ceil(math.log(1000, small_cluster.local_memory))
+        assert rounds == 2 * max(1, depth) + 1
+
+    def test_sort_charge_constant_in_machine_count(self):
+        few = Cluster(MPCConfig(n=64, phi=0.5, num_machines=4))
+        many = Cluster(MPCConfig(n=64, phi=0.5, num_machines=400))
+        assert few.charge_sort(500) == many.charge_sort(500)
+
+    def test_rounds_constant_in_n_for_fixed_phi(self):
+        """The O(1/phi) claim: charges do not grow with n (they only
+        depend on log_s(#machines) ~ 1/phi)."""
+        rounds = []
+        for n in (256, 1024, 4096, 16384):
+            cluster = Cluster(MPCConfig(n=n, phi=0.5, seed=0))
+            rounds.append(cluster.charge_broadcast())
+        assert max(rounds) <= min(rounds) + 1
+
+    def test_rounds_grow_as_phi_shrinks(self):
+        shallow = Cluster(MPCConfig(n=4096, phi=0.75, seed=0))
+        deep = Cluster(MPCConfig(n=4096, phi=0.25, seed=0))
+        assert (deep.charge_broadcast() >= shallow.charge_broadcast())
+
+
+class TestPhases:
+    def test_phase_wraps_metrics(self, small_cluster):
+        small_cluster.begin_phase("test")
+        small_cluster.charge_local()
+        snap = small_cluster.end_phase(batch_size=3)
+        assert snap.rounds == 1
+        assert snap.batch_size == 3
+        assert snap.label == "test"

@@ -1,0 +1,88 @@
+"""Preprocessing from an arbitrary starting graph (Section 1.1 remark)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DynamicConnectivityOracle
+from repro.core import MPCConnectivity
+from repro.errors import QueryError
+from repro.mpc import MPCConfig
+from repro.streams import erdos_renyi_insertions
+from repro.types import dele, ins
+from tests.conftest import make_valid_batch
+
+
+class TestPreload:
+    def test_preload_builds_correct_components(self):
+        n = 40
+        edges = [up.edge for up in erdos_renyi_insertions(n, 60, seed=1)]
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=1))
+        alg.preload(edges)
+        oracle = DynamicConnectivityOracle(n)
+        for u, v in edges:
+            oracle.insert(u, v)
+        assert alg.num_components() == oracle.num_components()
+        forest = alg.query_spanning_forest()
+        assert len(forest.edges) == n - oracle.num_components()
+        alg.forest.check_invariants()
+
+    def test_preload_charges_logarithmic_rounds(self):
+        n = 64
+        edges = [up.edge for up in erdos_renyi_insertions(n, 80, seed=2)]
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=2))
+        snapshot = alg.preload(edges)
+        assert "preload" in snapshot.rounds_by_category
+        # O(log n) iterations, each a multi-round converge-cast: more
+        # expensive than a steady-state update phase would be.
+        assert snapshot.rounds >= np.log2(n)
+
+    def test_updates_continue_after_preload(self):
+        n = 32
+        rng = np.random.default_rng(3)
+        edges = [up.edge for up in erdos_renyi_insertions(n, 40, seed=3)]
+        alg = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=3))
+        alg.preload(edges)
+        oracle = DynamicConnectivityOracle(n)
+        for u, v in edges:
+            oracle.insert(u, v)
+        live = set(edges)
+        for _ in range(15):
+            batch = make_valid_batch(rng, n, live, size=6)
+            alg.apply_batch(batch)
+            oracle.apply_batch(batch)
+            assert alg.num_components() == oracle.num_components()
+        assert alg.stats["sketch_failures"] == 0
+
+    def test_preload_equivalent_to_incremental(self):
+        n = 24
+        edges = [up.edge for up in erdos_renyi_insertions(n, 30, seed=4)]
+        pre = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=4))
+        pre.preload(edges)
+        inc = MPCConnectivity(MPCConfig(n=n, phi=0.5, seed=4))
+        for u, v in edges:
+            inc.apply_batch([ins(u, v)])
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert pre.connected(u, v) == inc.connected(u, v)
+
+    def test_preload_twice_rejected(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=5))
+        alg.preload([(0, 1)])
+        with pytest.raises(QueryError):
+            alg.preload([(2, 3)])
+
+    def test_preload_after_updates_rejected(self):
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=6))
+        alg.apply_batch([ins(0, 1)])
+        with pytest.raises(QueryError):
+            alg.preload([(2, 3)])
+
+    def test_tree_edge_deletion_after_preload(self):
+        """Sketches loaded by preload must serve replacement queries."""
+        alg = MPCConnectivity(MPCConfig(n=8, phi=0.5, seed=7))
+        alg.preload([(0, 1), (1, 2), (0, 2)])
+        tree = set(alg.query_spanning_forest().edges)
+        victim = sorted(tree)[0]
+        alg.apply_batch([dele(*victim)])
+        assert alg.connected(0, 2)
+        assert alg.stats["sketch_failures"] == 0

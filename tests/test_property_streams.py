@@ -1,0 +1,125 @@
+"""Property-based end-to-end tests: arbitrary valid update streams.
+
+Hypothesis drives the headline invariant from every angle it can
+generate: after ANY sequence of valid batches, the maintained component
+structure equals the oracle's, the spanning forest is a real spanning
+forest of the current graph, and determinism holds (same seed, same
+stream, same everything).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DynamicConnectivityOracle
+from repro.core import MPCConnectivity, StreamingConnectivity
+from repro.mpc import MPCConfig
+from repro.types import Batch, dele, ins
+
+N = 14
+
+
+def stream_from_blueprint(blueprint):
+    """Turn a hypothesis blueprint into a list of valid batches.
+
+    ``blueprint`` is a list of batches; each batch is a list of
+    (vertex_pair_index, prefer_delete) pairs.  Validity (no duplicate
+    inserts, deletes of live edges only, one touch per edge per batch)
+    is enforced during materialisation, so all generated streams are
+    legal by construction.
+    """
+    pairs = [(u, v) for u in range(N) for v in range(u + 1, N)]
+    live = set()
+    batches = []
+    for raw_batch in blueprint:
+        updates = []
+        touched = set()
+        for pair_index, prefer_delete in raw_batch:
+            edge = pairs[pair_index % len(pairs)]
+            if edge in touched:
+                continue
+            touched.add(edge)
+            if edge in live and prefer_delete:
+                live.discard(edge)
+                updates.append(dele(*edge))
+            elif edge not in live:
+                live.add(edge)
+                updates.append(ins(*edge))
+        batches.append(Batch(updates))
+    return batches
+
+
+blueprint_strategy = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 200), st.booleans()),
+        min_size=1, max_size=8,
+    ),
+    min_size=1, max_size=12,
+)
+
+
+class TestConnectivityProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(blueprint_strategy)
+    def test_components_always_match_oracle(self, blueprint):
+        batches = stream_from_blueprint(blueprint)
+        alg = MPCConnectivity(MPCConfig(n=N, phi=0.5, seed=3))
+        oracle = DynamicConnectivityOracle(N)
+        for batch in batches:
+            alg.apply_batch(batch)
+            oracle.apply_batch(batch)
+        groups = {}
+        for v in range(N):
+            groups.setdefault(alg.components.id_of(v), set()).add(v)
+        assert sorted(tuple(sorted(g)) for g in groups.values()) == \
+            oracle.component_sets()
+        forest = alg.query_spanning_forest()
+        live = set(oracle.edges())
+        assert all(edge in live for edge in forest.edges)
+        assert len(forest.edges) == N - oracle.num_components()
+        alg.forest.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(blueprint_strategy)
+    def test_streaming_reference_agrees_with_mpc(self, blueprint):
+        batches = stream_from_blueprint(blueprint)
+        mpc = MPCConnectivity(MPCConfig(n=N, phi=0.5, seed=5))
+        seq = StreamingConnectivity(N, seed=6)
+        for batch in batches:
+            mpc.apply_batch(batch)
+            for up in batch.insertions:
+                seq.insert(up.u, up.v)
+            for up in batch.deletions:
+                seq.delete(up.u, up.v)
+        for u in range(N):
+            for v in range(u + 1, N):
+                assert mpc.connected(u, v) == seq.connected(u, v)
+
+    @settings(max_examples=15, deadline=None)
+    @given(blueprint_strategy, st.integers(0, 10 ** 6))
+    def test_determinism(self, blueprint, seed):
+        batches = stream_from_blueprint(blueprint)
+
+        def run():
+            alg = MPCConnectivity(MPCConfig(n=N, phi=0.5, seed=seed))
+            for batch in batches:
+                alg.apply_batch(batch)
+            return (
+                sorted(alg.query_spanning_forest().edges),
+                [p.rounds for p in alg.phases],
+                alg.total_memory_words(),
+            )
+
+        assert run() == run()
+
+    @settings(max_examples=20, deadline=None)
+    @given(blueprint_strategy)
+    def test_rounds_never_depend_on_history_length(self, blueprint):
+        """Constant-rounds means no phase can cost more than the fixed
+        per-phase budget no matter what came before."""
+        batches = stream_from_blueprint(blueprint)
+        alg = MPCConnectivity(MPCConfig(n=N, phi=0.5, seed=8))
+        for batch in batches:
+            snapshot = alg.apply_batch(batch)
+            assert snapshot.rounds <= 80

@@ -1,0 +1,84 @@
+"""Hash family and bit-trick tests."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import (
+    MERSENNE_P,
+    FourWiseHash,
+    KWiseHash,
+    PairwiseHash,
+    random_field_element,
+    trailing_zeros,
+)
+
+
+class TestKWiseHash:
+    def test_range(self, rng):
+        h = KWiseHash(3, 17, rng)
+        assert all(0 <= h(x) < 17 for x in range(1000))
+
+    def test_deterministic(self):
+        h1 = KWiseHash(2, 100, np.random.default_rng(5))
+        h2 = KWiseHash(2, 100, np.random.default_rng(5))
+        assert [h1(x) for x in range(50)] == [h2(x) for x in range(50)]
+
+    def test_different_seeds_differ(self):
+        h1 = KWiseHash(2, 10 ** 6, np.random.default_rng(1))
+        h2 = KWiseHash(2, 10 ** 6, np.random.default_rng(2))
+        assert [h1(x) for x in range(20)] != [h2(x) for x in range(20)]
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            KWiseHash(0, 10, rng)
+        with pytest.raises(ValueError):
+            KWiseHash(2, 0, rng)
+
+    def test_roughly_uniform(self, rng):
+        """Chi-square-ish sanity: bucket counts within 3x of the mean."""
+        h = PairwiseHash(8, rng)
+        counts = [0] * 8
+        for x in range(8000):
+            counts[h(x)] += 1
+        assert min(counts) > 1000 / 3
+        assert max(counts) < 3000
+
+    def test_many_matches_scalar(self, rng):
+        h = FourWiseHash(1000, rng)
+        xs = list(range(100))
+        assert h.many(xs) == [h(x) for x in xs]
+
+    def test_field_value_below_p(self, rng):
+        h = KWiseHash(4, 10, rng)
+        assert all(0 <= h.field_value(x) < MERSENNE_P
+                   for x in range(0, 10 ** 6, 99991))
+
+
+class TestFieldElement:
+    def test_nonzero(self, rng):
+        assert all(random_field_element(rng) != 0 for _ in range(100))
+
+    def test_below_p(self, rng):
+        assert all(0 < random_field_element(rng) < MERSENNE_P
+                   for _ in range(100))
+
+
+class TestTrailingZeros:
+    @pytest.mark.parametrize("x,expected", [
+        (1, 0), (2, 1), (4, 2), (12, 2), (96, 5), (3, 0),
+    ])
+    def test_values(self, x, expected):
+        assert trailing_zeros(x, cap=10) == expected
+
+    def test_zero_hits_cap(self):
+        assert trailing_zeros(0, cap=7) == 7
+
+    def test_cap_applies(self):
+        assert trailing_zeros(1 << 20, cap=5) == 5
+
+    def test_geometric_distribution(self, rng):
+        """P[level >= l] ~ 2^-l over uniform inputs."""
+        h = PairwiseHash(1 << 20, rng)
+        levels = [trailing_zeros(h(x), 19) for x in range(20000)]
+        at_least_3 = sum(1 for lv in levels if lv >= 3) / len(levels)
+        assert 0.06 < at_least_3 < 0.20  # ideal 0.125

@@ -1,0 +1,110 @@
+"""Section 4 streaming reference algorithm vs the exact oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DynamicConnectivityOracle
+from repro.core import StreamingConnectivity
+from repro.errors import InvalidUpdateError
+
+
+class TestBasics:
+    def test_initially_disconnected(self):
+        alg = StreamingConnectivity(8, seed=1)
+        assert not alg.connected(0, 1)
+        assert alg.num_components() == 8
+
+    def test_insert_connects(self):
+        alg = StreamingConnectivity(8, seed=1)
+        alg.insert(0, 1)
+        alg.insert(1, 2)
+        assert alg.connected(0, 2)
+        assert alg.num_components() == 6
+
+    def test_duplicate_insert_rejected(self):
+        alg = StreamingConnectivity(4, seed=1)
+        alg.insert(0, 1)
+        with pytest.raises(InvalidUpdateError):
+            alg.insert(1, 0)
+
+    def test_missing_delete_rejected(self):
+        alg = StreamingConnectivity(4, seed=1)
+        with pytest.raises(InvalidUpdateError):
+            alg.delete(0, 1)
+
+    def test_non_tree_deletion_keeps_component(self):
+        alg = StreamingConnectivity(4, seed=2)
+        alg.insert(0, 1)
+        alg.insert(1, 2)
+        alg.insert(0, 2)  # cycle: one non-tree edge
+        forest_before = set(alg.query().edges)
+        non_tree = {(0, 1), (1, 2), (0, 2)} - forest_before
+        alg.delete(*non_tree.pop())
+        assert alg.connected(0, 2)
+
+    def test_tree_deletion_finds_replacement(self):
+        alg = StreamingConnectivity(6, seed=3)
+        alg.insert(0, 1)
+        alg.insert(1, 2)
+        alg.insert(0, 2)
+        tree = set(alg.query().edges)
+        alg.delete(*tree.pop())
+        assert alg.connected(0, 2), "replacement edge must reconnect"
+        assert alg.sketch_failures == 0
+
+    def test_split_when_no_replacement(self):
+        alg = StreamingConnectivity(5, seed=4)
+        alg.insert(0, 1)
+        alg.insert(1, 2)
+        alg.delete(1, 2)
+        assert not alg.connected(0, 2)
+        assert alg.connected(0, 1)
+
+    def test_query_reports_valid_forest(self):
+        alg = StreamingConnectivity(8, seed=5)
+        for u, v in [(0, 1), (1, 2), (3, 4)]:
+            alg.insert(u, v)
+        sol = alg.query()
+        assert sol.edges == [(0, 1), (1, 2), (3, 4)]
+        assert sol.num_components == 5
+
+    def test_space_words_near_n_polylog(self):
+        alg = StreamingConnectivity(64, seed=1)
+        # O(n log^3 n) with the explicit constants of the construction.
+        assert alg.space_words < 64 * (6 * np.log2(64)) ** 3
+
+
+class TestRandomStreams:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 28
+        alg = StreamingConnectivity(n, seed=seed)
+        oracle = DynamicConnectivityOracle(n)
+        live = set()
+        for _ in range(150):
+            if live and rng.random() < 0.4:
+                pool = sorted(live)
+                edge = pool[int(rng.integers(0, len(pool)))]
+                live.discard(edge)
+                alg.delete(*edge)
+                oracle.delete(*edge)
+            else:
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u == v:
+                    continue
+                edge = (min(u, v), max(u, v))
+                if edge in live:
+                    continue
+                live.add(edge)
+                alg.insert(u, v)
+                oracle.insert(u, v)
+            comp_alg = {}
+            for v in range(n):
+                comp_alg.setdefault(
+                    alg.components.id_of(v), set()
+                ).add(v)
+            assert sorted(tuple(sorted(c)) for c in comp_alg.values()) \
+                == oracle.component_sets()
+        assert alg.sketch_failures == 0

@@ -1,0 +1,137 @@
+"""Stream generator validity and determinism tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DynamicConnectivityOracle
+from repro.streams import (
+    ChurnStream,
+    SplitMergeStream,
+    as_batches,
+    erdos_renyi_insertions,
+    even_cycle_insertions,
+    odd_cycle_insertions,
+    path_insertions,
+    planted_matching_insertions,
+    power_law_insertions,
+    random_tree_insertions,
+    singleton_batches,
+    star_insertions,
+    weighted_insertions,
+)
+
+
+def assert_valid_stream(n, batches):
+    """Replay against the oracle: raises on any invalid update."""
+    oracle = DynamicConnectivityOracle(n)
+    for batch in batches:
+        seen = set()
+        for up in batch:
+            assert up.edge not in seen, "edge touched twice in one batch"
+            seen.add(up.edge)
+        oracle.apply_batch(batch)
+    return oracle
+
+
+class TestInsertionGenerators:
+    def test_er_distinct_edges(self):
+        ups = erdos_renyi_insertions(30, 100, seed=1)
+        edges = [up.edge for up in ups]
+        assert len(edges) == len(set(edges)) == 100
+        assert all(up.is_insert for up in ups)
+
+    def test_er_deterministic(self):
+        a = erdos_renyi_insertions(30, 50, seed=9)
+        b = erdos_renyi_insertions(30, 50, seed=9)
+        assert a == b
+
+    def test_weighted_range(self):
+        ups = weighted_insertions(20, 40, max_weight=16, seed=2)
+        assert all(1 <= up.weight <= 16 for up in ups)
+
+    def test_power_law_skew(self):
+        ups = power_law_insertions(100, 200, exponent=2.0, seed=3)
+        degree = {}
+        for up in ups:
+            degree[up.u] = degree.get(up.u, 0) + 1
+            degree[up.v] = degree.get(up.v, 0) + 1
+        top = max(degree.values())
+        assert top >= 10, "power-law stream should have hubs"
+
+    def test_path_and_star_and_tree_span(self):
+        for ups in (path_insertions(20, seed=1), star_insertions(20),
+                    random_tree_insertions(20, seed=1)):
+            oracle = assert_valid_stream(20, [ups])
+            assert oracle.num_components() == 1
+            assert oracle.num_edges == 19
+
+    def test_cycles(self):
+        assert len(even_cycle_insertions(10)) == 10
+        assert len(odd_cycle_insertions(9)) == 9
+        with pytest.raises(ValueError):
+            even_cycle_insertions(7)
+        with pytest.raises(ValueError):
+            odd_cycle_insertions(8)
+
+    def test_planted_matching_opt(self):
+        ups = planted_matching_insertions(40, size=15, noise=10, seed=4)
+        from repro.baselines import maximum_matching_size
+        opt = maximum_matching_size(40, [up.edge for up in ups])
+        assert opt >= 15
+
+    def test_planted_matching_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            planted_matching_insertions(10, size=6)
+
+
+class TestChurn:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stream_is_valid(self, seed):
+        stream = ChurnStream(24, seed=seed, delete_fraction=0.4)
+        batches = list(stream.batches(30, 6))
+        oracle = assert_valid_stream(24, batches)
+        assert oracle.num_edges == stream.num_live
+
+    def test_target_steering(self):
+        stream = ChurnStream(64, seed=1, delete_fraction=0.3,
+                             target_edges=60)
+        for batch in stream.batches(80, 10):
+            pass
+        assert 20 <= stream.num_live <= 120
+
+    def test_weighted_churn(self):
+        stream = ChurnStream(16, seed=2, weights=(1, 8))
+        batch = stream.next_batch(10)
+        assert all(1 <= up.weight <= 8 for up in batch
+                   if up.is_insert)
+
+
+class TestSplitMerge:
+    def test_build_then_surgery_valid(self):
+        gen = SplitMergeStream(20, seed=3, spare_edges=10)
+        batches = gen.build_batches(8)
+        surgery = gen.surgery_batch(5)
+        assert_valid_stream(20, batches + [surgery])
+        assert all(up.is_delete for up in surgery)
+
+    def test_surgery_before_build_rejected(self):
+        gen = SplitMergeStream(10, seed=0)
+        with pytest.raises(RuntimeError):
+            gen.surgery_batch(2)
+
+
+class TestBatching:
+    def test_as_batches_partition(self):
+        ups = erdos_renyi_insertions(20, 25, seed=0)
+        batches = as_batches(ups, 10)
+        assert [len(b) for b in batches] == [10, 10, 5]
+        flat = [up for b in batches for up in b]
+        assert flat == list(ups)
+
+    def test_singleton_batches(self):
+        ups = erdos_renyi_insertions(10, 5, seed=0)
+        assert all(len(b) == 1 for b in singleton_batches(ups))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            as_batches([], 0)

@@ -1,0 +1,84 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import (
+    Batch,
+    ForestSolution,
+    MatchingSolution,
+    Op,
+    Update,
+    canonical,
+    dele,
+    ins,
+)
+
+
+class TestCanonical:
+    def test_orders_endpoints(self):
+        assert canonical(5, 2) == (2, 5)
+        assert canonical(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical(3, 3)
+
+
+class TestUpdate:
+    def test_insert_shorthand(self):
+        up = ins(4, 1)
+        assert up.op is Op.INSERT
+        assert up.is_insert and not up.is_delete
+        assert up.edge == (1, 4)
+
+    def test_delete_shorthand(self):
+        up = dele(0, 9, weight=3.5)
+        assert up.is_delete
+        assert up.weight == 3.5
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ins(2, 2)
+
+    def test_inverse_round_trip(self):
+        up = ins(1, 2, weight=7.0)
+        assert up.inverse().is_delete
+        assert up.inverse().inverse() == up
+
+    def test_frozen(self):
+        up = ins(1, 2)
+        with pytest.raises(AttributeError):
+            up.u = 5  # type: ignore[misc]
+
+
+class TestBatch:
+    def test_split_preserves_order(self):
+        batch = Batch([ins(0, 1), dele(2, 3), ins(4, 5), dele(0, 1)])
+        inserts, deletes = batch.split()
+        assert [up.edge for up in inserts] == [(0, 1), (4, 5)]
+        assert [up.edge for up in deletes] == [(2, 3), (0, 1)]
+
+    def test_sequence_protocol(self):
+        batch = Batch([ins(0, 1), ins(1, 2)])
+        assert len(batch) == 2
+        assert batch[0].edge == (0, 1)
+        assert [up.edge for up in batch] == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        batch = Batch([])
+        assert len(batch) == 0
+        assert batch.insertions == [] and batch.deletions == []
+
+
+class TestSolutions:
+    def test_forest_component_count(self):
+        sol = ForestSolution(n=10, edges=[(0, 1), (1, 2)], weights=[])
+        assert sol.num_components == 8
+
+    def test_forest_weight(self):
+        sol = ForestSolution(n=3, edges=[(0, 1)], weights=[2.5])
+        assert sol.total_weight == 2.5
+
+    def test_matching_size(self):
+        sol = MatchingSolution(edges=[(0, 1), (2, 3)])
+        assert sol.size == 2
