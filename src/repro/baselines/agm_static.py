@@ -45,10 +45,7 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
         updates = inserts + deletes
         self.cluster.charge_broadcast(words=max(1, len(updates)),
                                       category="sketch-update")
-        for up in updates:
-            delta = 1 if up.is_insert else -1
-            self.sketches[up.u].apply_edge(up.u, up.v, delta)
-            self.sketches[up.v].apply_edge(up.u, up.v, delta)
+        self.family.apply_updates_bulk(updates)
 
     # ------------------------------------------------------------------
     def query_with_metrics(self) -> Tuple[ForestSolution, PhaseMetrics]:

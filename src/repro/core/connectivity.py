@@ -23,8 +23,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
-
 from repro.core.api import BatchDynamicAlgorithm
 from repro.core.components import ComponentIds
 from repro.errors import QueryError, SketchFailureError
@@ -94,9 +92,7 @@ class MPCConnectivity(BatchDynamicAlgorithm):
             self.cluster.charge_converge(
                 words=self.family.words_per_vertex, category="preload"
             )
-        for u, v in edges:
-            self.sketches[u].apply_edge(u, v, +1)
-            self.sketches[v].apply_edge(u, v, +1)
+        self.family.apply_updates_bulk(updates, delta=+1)
         forest_edges = self._spanning_forest_of_h(updates)
         if forest_edges:
             report = self.forest.batch_link(forest_edges)
@@ -153,9 +149,7 @@ class MPCConnectivity(BatchDynamicAlgorithm):
         k = len(inserts)
         # Broadcast the batch; machines owning u or v update the sketches.
         self.cluster.charge_broadcast(words=k, category="sketch-update")
-        for up in inserts:
-            self.sketches[up.u].apply_edge(up.u, up.v, +1)
-            self.sketches[up.v].apply_edge(up.u, up.v, +1)
+        self.family.apply_updates_bulk(inserts, delta=+1)
 
         # Classify: edges between distinct components are tree candidates.
         # One local round: every machine checks C[u] != C[v] for its edges.
@@ -211,9 +205,7 @@ class MPCConnectivity(BatchDynamicAlgorithm):
     def _process_deletions(self, deletes: List[Update]) -> None:
         k = len(deletes)
         self.cluster.charge_broadcast(words=k, category="sketch-update")
-        for up in deletes:
-            self.sketches[up.u].apply_edge(up.u, up.v, -1)
-            self.sketches[up.v].apply_edge(up.u, up.v, -1)
+        self.family.apply_updates_bulk(deletes, delta=-1)
 
         self.cluster.charge_local(category="classify")
         tree_edges = [up.edge for up in deletes

@@ -36,7 +36,11 @@ from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import Cluster
 from repro.sketch.edge_coding import decode_index, encode_edge, num_pairs
 from repro.sketch.hashing import PairwiseHash
-from repro.sketch.l0_sampler import L0Sampler, SamplerRandomness
+from repro.sketch.l0_sampler import (
+    L0Sampler,
+    SamplerRandomness,
+    update_grouped,
+)
 from repro.types import Edge, MatchingSolution, Update
 
 
@@ -93,13 +97,9 @@ class _Guess:
             old = self.outcome.get(pair)
             if old is not None:
                 removed.append(decode_index(self.n, old))
-        # Update the sketches (linear, one broadcast).
-        for pair, idx, delta in deltas:
-            sampler = self.samplers.get(pair)
-            if sampler is None:
-                sampler = L0Sampler(self.randomness)
-                self.samplers[pair] = sampler
-            sampler.update(idx, delta)
+        # Update the sketches (linear, one broadcast); each affected
+        # pair ingests its updates in one vectorized call.
+        update_grouped(self.samplers, self.randomness, deltas)
         # Y: the post-update outcomes.
         inserted: List[Edge] = []
         for pair in affected:

@@ -38,7 +38,11 @@ from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import Cluster
 from repro.sketch.edge_coding import decode_index, encode_edge, num_pairs
 from repro.sketch.hashing import FourWiseHash, PairwiseHash
-from repro.sketch.l0_sampler import L0Sampler, SamplerRandomness
+from repro.sketch.l0_sampler import (
+    L0Sampler,
+    SamplerRandomness,
+    update_grouped,
+)
 from repro.types import Edge, Update
 
 _SAMPLE_RANGE = 1 << 20
@@ -117,12 +121,7 @@ class MatchingTester:
             old = self.outcome.get(pair)
             if old is not None:
                 removed.append(decode_index(self.n, old))
-        for pair, idx, delta in deltas:
-            sampler = self.samplers.get(pair)
-            if sampler is None:
-                sampler = L0Sampler(self.randomness)
-                self.samplers[pair] = sampler
-            sampler.update(idx, delta)
+        update_grouped(self.samplers, self.randomness, deltas)
         inserted: List[Edge] = []
         for pair in affected:
             idx = self.samplers[pair].sample()

@@ -88,6 +88,33 @@ class StreamingConnectivity:
         else:
             self.delete(update.u, update.v)
 
+    def preload(self, edges: "list[Edge]") -> None:
+        """Bulk-load a starting graph before streaming begins.
+
+        The paper's pre-computation hand-over (end of Section 1.1) for
+        the sequential algorithm: the sketches ingest the whole edge
+        set through the family's vectorized bulk router (bit-identical
+        to inserting one edge at a time), then the forest and component
+        ids are built incrementally.  Only valid on a fresh instance.
+        """
+        if self._edges:
+            raise InvalidUpdateError("preload requires a fresh instance")
+        canon = [canonical(u, v) for u, v in edges]
+        if len(set(canon)) != len(canon):
+            raise InvalidUpdateError("preload with duplicate edges")
+        k = len(canon)
+        if not k:
+            return
+        us = np.fromiter((e[0] for e in canon), dtype=np.int64, count=k)
+        vs = np.fromiter((e[1] for e in canon), dtype=np.int64, count=k)
+        self.family.apply_edges_bulk(us, vs, np.ones(k, dtype=np.int64))
+        for u, v in canon:
+            self._edges.add((u, v))
+            if self.components.same(u, v):
+                continue
+            self.forest.link(u, v)
+            self.components.relabel_min(self.forest.tree_vertices(u))
+
     def insert(self, u: int, v: int) -> None:
         edge = canonical(u, v)
         if edge in self._edges:

@@ -1,10 +1,24 @@
 """Linear sketching substrate: hashing, 1-sparse recovery, L0-sampling,
-and the AGM graph sketches built from them (paper, Section 3.1)."""
+and the AGM graph sketches built from them (paper, Section 3.1).
+
+Bulk ingestion: every layer has an array flavour next to its scalar
+one -- ``mulmod_many`` / ``poly_field_values`` (k-wise hashing over
+GF(2^61-1) with 32-bit limb arithmetic, see :mod:`repro.sketch.hashing`),
+``encode_edges`` / ``edge_signs``, ``SamplerRandomness.levels_of_many``
+/ ``zpow_many``, ``RecoveryMatrix.apply_many``,
+``L0Sampler.update_many``, ``VertexSketch.apply_edges``, and the
+group-by-endpoint router ``SketchFamily.apply_edges_bulk``.  The bulk
+path is bit-identical to the sequential one (asserted by
+``tests/test_bulk_ingestion.py``) and roughly an order of magnitude
+faster per batch (``benchmarks/test_exp12_ingest_throughput.py``).
+"""
 
 from repro.sketch.edge_coding import (
     decode_index,
     edge_sign,
+    edge_signs,
     encode_edge,
+    encode_edges,
     num_pairs,
 )
 from repro.sketch.graph_sketch import MergedSketch, SketchFamily, VertexSketch
@@ -13,20 +27,31 @@ from repro.sketch.hashing import (
     FourWiseHash,
     KWiseHash,
     PairwiseHash,
+    addmod_many,
+    mulmod_many,
+    poly_field_values,
     random_field_element,
     trailing_zeros,
+    trailing_zeros_many,
 )
 from repro.sketch.l0_sampler import (
+    CACHE_LIMIT,
     L0Sampler,
     SamplerRandomness,
     levels_for_universe,
 )
-from repro.sketch.sparse_recovery import RecoveryMatrix
+from repro.sketch.sparse_recovery import (
+    RENORM_MASS,
+    RecoveryMatrix,
+    RecoveryPool,
+)
 
 __all__ = [
     "decode_index",
     "edge_sign",
+    "edge_signs",
     "encode_edge",
+    "encode_edges",
     "num_pairs",
     "MergedSketch",
     "SketchFamily",
@@ -35,10 +60,17 @@ __all__ = [
     "FourWiseHash",
     "KWiseHash",
     "PairwiseHash",
+    "addmod_many",
+    "mulmod_many",
+    "poly_field_values",
     "random_field_element",
     "trailing_zeros",
+    "trailing_zeros_many",
+    "CACHE_LIMIT",
     "L0Sampler",
     "SamplerRandomness",
     "levels_for_universe",
+    "RENORM_MASS",
     "RecoveryMatrix",
+    "RecoveryPool",
 ]

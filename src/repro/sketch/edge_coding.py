@@ -9,12 +9,18 @@ order: pair ``(i, j)`` with ``i < j`` gets index
 so row ``i`` holds the pairs ``(i, i+1) .. (i, n-1)``.  Decoding inverts
 the quadratic ``offset`` with an integer square root plus a local
 correction loop (exact for all inputs; property-tested round-trip).
+
+:func:`encode_edges` and :func:`edge_signs` are the array flavours used
+by the bulk ingestion path -- same coding, same sign convention, whole
+batches at a time.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Tuple
+
+import numpy as np
 
 from repro.types import Edge
 
@@ -37,6 +43,41 @@ def encode_edge(n: int, u: int, v: int) -> int:
     if not 0 <= i < j < n:
         raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
     return row_offset(n, i) + (j - i - 1)
+
+
+def encode_edges(n: int, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`encode_edge`: coordinate of every edge at once.
+
+    ``us`` and ``vs`` are integer arrays of equal shape; the result is
+    the int64 array of upper-triangular coordinates, bit-identical to
+    the scalar encoding of each pair.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if us.shape != vs.shape:
+        raise ValueError("endpoint arrays must have the same shape")
+    if np.any(us == vs):
+        raise ValueError("self-loops have no coordinate")
+    i = np.minimum(us, vs)
+    j = np.maximum(us, vs)
+    if us.size and (int(i.min()) < 0 or int(j.max()) >= n):
+        raise ValueError(f"edge endpoints out of range for n={n}")
+    return i * n - i * (i + 1) // 2 + (j - i - 1)
+
+
+def edge_signs(vertex: int, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`edge_sign`: ``vertex``'s sign for every edge.
+
+    Every edge must have ``vertex`` as one of its endpoints; returns
+    the int64 array of ``+1`` / ``-1`` values.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    hi = np.maximum(us, vs)
+    lo = np.minimum(us, vs)
+    if np.any((hi != vertex) & (lo != vertex)):
+        raise ValueError(f"vertex {vertex} is not an endpoint of every edge")
+    return np.where(hi == vertex, 1, -1).astype(np.int64)
 
 
 def decode_index(n: int, idx: int) -> Edge:

@@ -11,6 +11,19 @@ connectivity algorithm uses to find replacement edges after deletions.
 
 :class:`SketchFamily` carries the shared randomness (one instance per
 algorithm), :class:`VertexSketch` is the per-vertex state.
+
+Bulk ingestion
+--------------
+The per-vertex recovery cells live in one family-owned
+:class:`~repro.sketch.sparse_recovery.RecoveryPool` (vertex id = pool
+slot), so a batch of edge updates is ingested by
+:meth:`SketchFamily.apply_edges_bulk` as a *single* group-by-endpoint
+scatter: hash all edge coordinates at once, emit one signed entry per
+(edge, endpoint), and let the pool accumulate every vertex's cells in
+one ``np.add.at`` pass per quantity.  This is bit-identical to calling
+:meth:`VertexSketch.apply_edge` per edge and endpoint -- the batch
+algorithms (``MPCConnectivity``, preload, MSF, bipartiteness) route
+their sketch updates through it.
 """
 
 from __future__ import annotations
@@ -19,8 +32,16 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.sketch.edge_coding import decode_index, edge_sign, encode_edge, num_pairs
+from repro.sketch.edge_coding import (
+    decode_index,
+    edge_sign,
+    edge_signs,
+    encode_edge,
+    encode_edges,
+    num_pairs,
+)
 from repro.sketch.l0_sampler import L0Sampler, SamplerRandomness
+from repro.sketch.sparse_recovery import RecoveryPool
 from repro.types import Edge
 
 
@@ -31,6 +52,11 @@ class SketchFamily:
     independent sketches per vertex: batch deletions consume one column
     per AGM halving iteration (Section 6.3), and column rotation across
     phases keeps reuse of revealed randomness bounded (DESIGN.md, D3).
+
+    The family also owns the :class:`RecoveryPool` backing every
+    vertex sketch it hands out, which is what lets
+    :meth:`apply_edges_bulk` update all endpoints of a batch in single
+    array scatters.
     """
 
     def __init__(self, n: int, columns: int, rng: np.random.Generator):
@@ -40,6 +66,7 @@ class SketchFamily:
         self.columns = columns
         self.universe = num_pairs(n)
         self.randomness = SamplerRandomness(self.universe, columns, rng)
+        self.pool = RecoveryPool(n, columns, self.randomness.levels)
 
     @property
     def levels(self) -> int:
@@ -48,11 +75,84 @@ class SketchFamily:
     def encode(self, u: int, v: int) -> int:
         return encode_edge(self.n, u, v)
 
+    def encode_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return encode_edges(self.n, us, vs)
+
     def decode(self, idx: int) -> Edge:
         return decode_index(self.n, idx)
 
     def new_vertex_sketch(self, vertex: int) -> "VertexSketch":
+        """The sketch stack of ``vertex``, backed by the family pool.
+
+        Call once per vertex: a second call for the same vertex
+        returns a *view of the same pool row* (including any
+        accumulated state), not a fresh zero sketch -- to reset a
+        vertex, zero its row instead of constructing a new sketch.
+        """
         return VertexSketch(self, vertex)
+
+    def apply_edges_bulk(self, us: np.ndarray, vs: np.ndarray,
+                         deltas: np.ndarray) -> None:
+        """Ingest a batch of signed edge updates into all endpoints.
+
+        ``us``, ``vs``, ``deltas`` are equal-length arrays; update ``i``
+        adds ``deltas[i]`` (+1 insert / -1 delete) to edge
+        ``{us[i], vs[i]}``, touching *both* endpoint sketches with the
+        Lemma 3.3 signs.  The whole batch is hashed with the
+        array-level field arithmetic and scattered into the family pool
+        in one pass per recovery quantity -- bit-identical to per-edge
+        :meth:`VertexSketch.apply_edge` calls, in any order.
+
+        Only the family's own pool-backed vertex sketches (the ones
+        from :meth:`new_vertex_sketch`) observe these updates; detached
+        copies do not.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        k = us.shape[0]
+        if k == 0:
+            return
+        idxs = encode_edges(self.n, us, vs)
+        randomness = self.randomness
+        col_levels = randomness.levels_of_many(idxs)
+        zpows = randomness.zpow_many(idxs)
+        hi = np.maximum(us, vs)
+        lo = np.minimum(us, vs)
+        # One entry per (edge, endpoint): the larger endpoint sees
+        # +delta, the smaller -delta (edge_sign convention).
+        slots = np.concatenate([hi, lo])
+        signed = np.concatenate([deltas, -deltas])
+        doubled_levels = np.concatenate([col_levels, col_levels], axis=0)
+        doubled_idxs = np.concatenate([idxs, idxs])
+        doubled_zpows = np.concatenate([zpows, zpows])
+        self.pool.apply_points(slots, doubled_levels, doubled_idxs,
+                               signed, doubled_zpows)
+
+    def apply_updates_bulk(self, updates, delta: Optional[int] = None
+                           ) -> None:
+        """:meth:`apply_edges_bulk` over a list of stream ``Update``s.
+
+        With ``delta`` given, every update carries that signed value
+        (the insertions-then-deletions split of the phase model);
+        otherwise each update contributes ``+1``/``-1`` from its own
+        op.  One marshalling point for all the batch algorithms.
+        """
+        k = len(updates)
+        if k == 0:
+            return
+        us = np.fromiter((up.u for up in updates), dtype=np.int64,
+                         count=k)
+        vs = np.fromiter((up.v for up in updates), dtype=np.int64,
+                         count=k)
+        if delta is None:
+            deltas = np.fromiter(
+                (1 if up.is_insert else -1 for up in updates),
+                dtype=np.int64, count=k,
+            )
+        else:
+            deltas = np.full(k, delta, dtype=np.int64)
+        self.apply_edges_bulk(us, vs, deltas)
 
     @property
     def words_per_vertex(self) -> int:
@@ -70,7 +170,7 @@ class VertexSketch:
         self.family = family
         self.vertex = vertex
         self.sampler = sampler if sampler is not None else L0Sampler(
-            family.randomness
+            family.randomness, family.pool.matrix(vertex)
         )
 
     def apply_edge(self, u: int, v: int, delta: int) -> None:
@@ -82,6 +182,22 @@ class VertexSketch:
         sign = edge_sign(self.vertex, u, v)
         idx = self.family.encode(u, v)
         self.sampler.update(idx, sign * delta)
+
+    def apply_edges(self, us: np.ndarray, vs: np.ndarray,
+                    deltas: np.ndarray) -> None:
+        """Bulk :meth:`apply_edge`: all edges must touch this vertex.
+
+        Vectorized signing + encoding + ingestion; bit-identical to the
+        per-edge loop.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if us.size == 0:
+            return
+        signs = edge_signs(self.vertex, us, vs)
+        idxs = encode_edges(self.family.n, us, vs)
+        self.sampler.update_many(idxs, signs * deltas)
 
     def copy(self) -> "VertexSketch":
         return VertexSketch(self.family, self.vertex, self.sampler.copy())

@@ -9,15 +9,95 @@ Both are polynomial hashing over ``GF(p)`` with ``p = 2^61 - 1``:
 
 which is the textbook construction with exactly k-wise independence on
 the field and negligible range bias for ``m << p``.
+
+Bulk ingestion
+--------------
+Every function comes in a scalar flavour (exact Python-int arithmetic)
+and an array flavour used by the vectorized bulk-update path.  The
+array flavour evaluates the polynomial on whole numpy vectors at once.
+Products of two 61-bit field elements need 122 bits, which does not fit
+a numpy ``uint64``, so :func:`mulmod_many` splits each operand into
+32-bit limbs::
+
+    a = a_hi * 2^32 + a_lo,   b = b_hi * 2^32 + b_lo
+    a*b = a_hi*b_hi * 2^64  +  (a_hi*b_lo + a_lo*b_hi) * 2^32  +  a_lo*b_lo
+
+and reduces each partial product modulo the Mersenne prime with shifts
+and masks only (``2^61 === 1 (mod p)``, so bits above position 61 fold
+back onto the low bits).  Every intermediate stays below ``2^63``, so
+the limb arithmetic is exact in ``uint64`` -- the two flavours return
+bit-identical values, which the bulk-vs-sequential ingestion tests
+assert.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 MERSENNE_P = (1 << 61) - 1
+
+# uint64 constants for the limb arithmetic: NumPy keeps uint64 closed
+# under operations with same-dtype scalars, so every shift/mask below
+# uses these instead of bare Python ints.
+_P_U64 = np.uint64(MERSENNE_P)
+_MASK29 = np.uint64((1 << 29) - 1)
+_MASK32 = np.uint64((1 << 32) - 1)
+_U1 = np.uint64(1)
+_U3 = np.uint64(3)
+_U29 = np.uint64(29)
+_U32 = np.uint64(32)
+_U61 = np.uint64(61)
+
+
+def mulmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``(a * b) mod p`` for ``uint64`` arrays with entries
+    in ``[0, p)``.
+
+    Splits both operands into 32-bit limbs so every partial product and
+    partial sum fits ``uint64`` (see the module docstring), then folds
+    the bits above position 61 back down (``2^61 === 1 mod p``).
+    Broadcasting works as for ``a * b``.
+    """
+    a_hi = a >> _U32
+    a_lo = a & _MASK32
+    b_hi = b >> _U32
+    b_lo = b & _MASK32
+    hh = a_hi * b_hi                      # < 2^58
+    mid = a_hi * b_lo + a_lo * b_hi       # < 2^62
+    ll = a_lo * b_lo                      # < 2^64
+    # a*b = hh*2^64 + mid*2^32 + ll; fold at bit 61 (2^61 === 1 mod p):
+    #   hh*2^64 === hh*8, mid*2^32 === (mid >> 29) + (mid & M29)*2^32,
+    #   ll === (ll >> 61) + (ll & p).  The sum stays below 3 * 2^61.
+    acc = ((hh << _U3) + (mid >> _U29) + ((mid & _MASK29) << _U32)
+           + (ll >> _U61) + (ll & _P_U64))
+    acc = (acc & _P_U64) + (acc >> _U61)
+    return np.where(acc >= _P_U64, acc - _P_U64, acc)
+
+
+def addmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``(a + b) mod p`` for ``uint64`` arrays in ``[0, p)``."""
+    s = a + b                             # < 2^62
+    s = (s & _P_U64) + (s >> _U61)
+    return np.where(s >= _P_U64, s - _P_U64, s)
+
+
+def poly_field_values(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Evaluate many degree-(k-1) polynomials at many points in GF(p).
+
+    ``coeffs`` has shape ``(k, h)`` -- column ``j`` holds the
+    coefficients ``a_0 .. a_{k-1}`` of polynomial ``j`` -- and ``xs``
+    has shape ``(e,)`` with entries in ``[0, p)``.  Returns the
+    ``(e, h)`` uint64 matrix of Horner evaluations, bit-identical to
+    :meth:`KWiseHash.field_value` on each (point, polynomial) pair.
+    """
+    points = xs[:, None]
+    acc = np.broadcast_to(coeffs[-1][None, :], (xs.shape[0],
+                                                coeffs.shape[1]))
+    for row in range(coeffs.shape[0] - 2, -1, -1):
+        acc = addmod_many(mulmod_many(acc, points), coeffs[row][None, :])
+    return np.ascontiguousarray(acc)
 
 
 class KWiseHash:
@@ -34,7 +114,7 @@ class KWiseHash:
         ``numpy.random.Generator`` for reproducibility.
     """
 
-    __slots__ = ("k", "range_size", "coeffs")
+    __slots__ = ("k", "range_size", "coeffs", "_coeff_column")
 
     def __init__(self, k: int, range_size: int, rng: np.random.Generator):
         if k < 1:
@@ -49,6 +129,7 @@ class KWiseHash:
         if k > 1 and coeffs[-1] == 0:
             coeffs[-1] = 1
         self.coeffs = coeffs
+        self._coeff_column = np.array(coeffs, dtype=np.uint64)[:, None]
 
     def field_value(self, x: int) -> int:
         """The polynomial evaluated in GF(p), before range reduction."""
@@ -57,12 +138,29 @@ class KWiseHash:
             acc = (acc * x + coeff) % MERSENNE_P
         return acc
 
+    def field_value_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`field_value`: ``(e,)`` ints -> uint64 array.
+
+        Inputs are reduced mod p first, so any non-negative integers
+        below ``2^63`` are accepted.
+        """
+        points = np.asarray(xs, dtype=np.int64).astype(np.uint64) % _P_U64
+        return poly_field_values(self._coeff_column, points)[:, 0]
+
     def __call__(self, x: int) -> int:
         return self.field_value(x) % self.range_size
 
     def many(self, xs: Sequence[int]) -> List[int]:
-        """Hash a batch of inputs (plain loop; inputs are Python ints)."""
-        return [self(x) for x in xs]
+        """Hash a batch of inputs via the vectorized field evaluation.
+
+        Arbitrary Python ints are accepted (they are reduced mod p up
+        front); the output matches ``[self(x) for x in xs]`` exactly.
+        """
+        if len(xs) == 0:
+            return []
+        reduced = np.array([x % MERSENNE_P for x in xs], dtype=np.uint64)
+        values = poly_field_values(self._coeff_column, reduced)[:, 0]
+        return [int(v) for v in values % np.uint64(self.range_size)]
 
 
 class PairwiseHash(KWiseHash):
@@ -99,3 +197,18 @@ def trailing_zeros(x: int, cap: int) -> int:
     if x == 0:
         return cap
     return min(cap, (x & -x).bit_length() - 1)
+
+
+def trailing_zeros_many(xs: np.ndarray, cap: int) -> np.ndarray:
+    """Vectorized :func:`trailing_zeros` over a uint64 array.
+
+    Isolates the lowest set bit with ``x & (~x + 1)`` and reads its
+    position from the float64 exponent (``frexp``); powers of two up to
+    ``2^63`` convert to float64 exactly, so this matches the scalar
+    bit-trick bit for bit.  Zero entries map to ``cap``.
+    """
+    xs = np.asarray(xs, dtype=np.uint64)
+    lsb = xs & (~xs + _U1)
+    _, exponent = np.frexp(lsb.astype(np.float64))
+    tz = exponent.astype(np.int64) - 1
+    return np.where(xs == 0, cap, np.minimum(tz, cap))

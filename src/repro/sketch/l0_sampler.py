@@ -13,6 +13,12 @@ pairwise-independent hash assigns every coordinate a geometric level
 level prefix.  A query scans the cells for one that passes the
 fingerprint test.  Each column succeeds with constant probability on a
 nonzero vector, so ``columns = O(log(1/delta))`` boosts to ``1 - delta``.
+
+Bulk ingestion: :meth:`L0Sampler.update_many` ingests a whole batch of
+coordinate updates with array-level hashing (`levels_of_many`,
+`zpow_many`) and one scatter per recovery quantity -- bit-identical to
+a loop of :meth:`L0Sampler.update` calls, minus the per-update Python
+dispatch.
 """
 
 from __future__ import annotations
@@ -25,10 +31,21 @@ import numpy as np
 from repro.sketch.hashing import (
     MERSENNE_P,
     PairwiseHash,
+    mulmod_many,
+    poly_field_values,
     random_field_element,
     trailing_zeros,
+    trailing_zeros_many,
 )
 from repro.sketch.sparse_recovery import RecoveryMatrix
+
+#: Cap on the per-coordinate memo dictionaries of
+#: :class:`SamplerRandomness`.  The caches only help when the stream
+#: revisits coordinates (insert/delete churn); bounding them turns an
+#: unbounded slow leak on long streams into a fixed O(1) footprint.
+#: Eviction is FIFO -- enough to keep hot working sets while staying
+#: dead simple.
+CACHE_LIMIT = 1 << 16
 
 
 def levels_for_universe(universe: int) -> int:
@@ -45,6 +62,11 @@ class SamplerRandomness:
     randomness (same level hashes, same fingerprint base), so the
     algorithms create one :class:`SamplerRandomness` per logical vector
     family and derive all samplers from it.
+
+    Scalar lookups (:meth:`levels_of`, :meth:`zpow`) memoize per
+    coordinate in bounded FIFO caches; the array flavours
+    (:meth:`levels_of_many`, :meth:`zpow_many`) recompute vectorized --
+    for a batch, the array path is far cheaper than filling the caches.
     """
 
     def __init__(self, universe: int, columns: int,
@@ -61,6 +83,24 @@ class SamplerRandomness:
         self.z = random_field_element(rng)
         self._zpow_cache: Dict[int, int] = {}
         self._levels_cache: Dict[int, np.ndarray] = {}
+        # Stacked coefficients of the per-column pairwise hashes:
+        # row j holds coefficient a_j of every column's polynomial.
+        self._coeff_matrix = np.array(
+            [[h.coeffs[j] for h in self.level_hashes] for j in range(2)],
+            dtype=np.uint64,
+        )
+        self._range_mask = np.uint64(self._level_range - 1)
+        # z^(2^j) ladder for vectorized binary exponentiation.
+        self._zpow_ladder: List[int] = [self.z]
+        while (1 << len(self._zpow_ladder)) < max(2, universe):
+            last = self._zpow_ladder[-1]
+            self._zpow_ladder.append(last * last % MERSENNE_P)
+
+    @staticmethod
+    def _cache_put(cache: Dict, key, value) -> None:
+        if len(cache) >= CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
 
     def levels_of(self, idx: int) -> np.ndarray:
         """Per-column top level of coordinate ``idx`` (cached)."""
@@ -75,8 +115,23 @@ class SamplerRandomness:
             dtype=np.int64,
             count=self.columns,
         )
-        self._levels_cache[idx] = out
+        self._cache_put(self._levels_cache, idx, out)
         return out
+
+    def levels_of_many(self, idxs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`levels_of`: ``(e,)`` -> ``(e, columns)``.
+
+        Evaluates every column's pairwise hash on the whole batch with
+        the limb-arithmetic field evaluation; bit-identical to the
+        scalar path.
+        """
+        idxs = np.asarray(idxs, dtype=np.int64)
+        if idxs.size == 0:
+            return np.empty((0, self.columns), dtype=np.int64)
+        points = idxs.astype(np.uint64)
+        values = poly_field_values(self._coeff_matrix, points)
+        values &= self._range_mask
+        return trailing_zeros_many(values, self.levels - 1)
 
     def zpow(self, idx: int) -> int:
         """``z^idx mod p`` (cached; edges repeat across insert/delete)."""
@@ -84,21 +139,74 @@ class SamplerRandomness:
         if cached is not None:
             return cached
         value = pow(self.z, idx, MERSENNE_P)
-        self._zpow_cache[idx] = value
+        self._cache_put(self._zpow_cache, idx, value)
         return value
+
+    def zpow_many(self, idxs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`zpow`: binary exponentiation over arrays.
+
+        Walks the precomputed ``z^(2^j)`` ladder, multiplying the
+        entries whose exponent has bit ``j`` set (limb-arithmetic
+        mulmod).  Returns int64 values in ``[0, p)``, bit-identical to
+        ``pow(z, idx, p)``.
+        """
+        idxs = np.asarray(idxs, dtype=np.int64)
+        exps = idxs.astype(np.uint64)
+        out = np.ones(idxs.shape, dtype=np.uint64)
+        bit = 0
+        remaining = exps
+        while remaining.any():
+            if bit >= len(self._zpow_ladder):
+                last = self._zpow_ladder[-1]
+                self._zpow_ladder.append(last * last % MERSENNE_P)
+            odd = (remaining & np.uint64(1)) != 0
+            if odd.any():
+                out[odd] = mulmod_many(
+                    out[odd], np.uint64(self._zpow_ladder[bit])
+                )
+            remaining = remaining >> np.uint64(1)
+            bit += 1
+        return out.astype(np.int64)
 
     def fingerprint_ok(self, idx: int, w: int, f: int) -> bool:
         """Verify ``F == W * z^idx`` and the level membership of ``idx``."""
         return (w % MERSENNE_P) * self.zpow(idx) % MERSENNE_P == f
 
 
+def update_grouped(samplers, randomness: SamplerRandomness,
+                   entries) -> None:
+    """Group ``(key, idx, delta)`` entries by key and bulk-update each
+    key's sampler, creating missing samplers from ``randomness``.
+
+    The marshalling shared by the matching sparsifiers: ``samplers``
+    is a dict the caller owns; per-key update order follows the entry
+    order, so the result is bit-identical to a scalar update loop.
+    """
+    per_key: dict = {}
+    for key, idx, delta in entries:
+        per_key.setdefault(key, []).append((idx, delta))
+    for key, pairs in per_key.items():
+        sampler = samplers.get(key)
+        if sampler is None:
+            sampler = L0Sampler(randomness)
+            samplers[key] = sampler
+        count = len(pairs)
+        sampler.update_many(
+            np.fromiter((idx for idx, _ in pairs), dtype=np.int64,
+                        count=count),
+            np.fromiter((delta for _, delta in pairs), dtype=np.int64,
+                        count=count),
+        )
+
+
 class L0Sampler:
     """A mergeable L0-sampler for one vector.
 
-    Use :meth:`update` during the stream, :meth:`sample` on query.
-    ``sample`` returns ``None`` both for the zero vector and on the
-    (rare) per-column failures; :meth:`is_zero` separates the two cases
-    up to the fingerprint's negligible false-zero probability.
+    Use :meth:`update` / :meth:`update_many` during the stream,
+    :meth:`sample` on query.  ``sample`` returns ``None`` both for the
+    zero vector and on the (rare) per-column failures; :meth:`is_zero`
+    separates the two cases up to the fingerprint's negligible
+    false-zero probability.
     """
 
     __slots__ = ("randomness", "matrix")
@@ -123,6 +231,41 @@ class L0Sampler:
         self.matrix.apply(
             self.randomness.levels_of(idx), idx, delta,
             self.randomness.zpow(idx),
+        )
+
+    def update_many(self, idxs: np.ndarray, deltas: np.ndarray) -> None:
+        """Add many ``(idx, delta)`` updates with vectorized hashing.
+
+        Bit-identical to ``for idx, delta in zip(idxs, deltas):
+        self.update(idx, delta)`` -- same recovery state, same samples
+        -- but the hashing, the ``z^idx`` powers, and the cell scatter
+        all run as single array operations.
+        """
+        idxs = np.asarray(idxs, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if idxs.shape != deltas.shape:
+            raise ValueError("idxs and deltas must have the same shape")
+        if idxs.size == 0:
+            return
+        if (int(idxs.min()) < 0
+                or int(idxs.max()) >= self.randomness.universe):
+            raise ValueError(
+                f"coordinate outside universe "
+                f"[0, {self.randomness.universe})"
+            )
+        live = deltas != 0
+        if not live.all():
+            idxs = idxs[live]
+            deltas = deltas[live]
+            if idxs.size == 0:
+                return
+        if idxs.size == 1:
+            # Tiny batches are cheaper through the memoized scalar path.
+            self.update(int(idxs[0]), int(deltas[0]))
+            return
+        self.matrix.apply_many(
+            self.randomness.levels_of_many(idxs), idxs, deltas,
+            self.randomness.zpow_many(idxs),
         )
 
     def merge_from(self, other: "L0Sampler") -> None:

@@ -10,41 +10,199 @@ coordinate and the fingerprint test ``F == W * z^{i*}`` confirms it; for
 any other vector the test fails except with probability ``<= N/p`` over
 the choice of ``z`` (a nonzero polynomial of degree < N has < N roots).
 
-:class:`RecoveryMatrix` holds one such cell for every (column, level)
-pair of an L0-sampler as three numpy int64 arrays, so updates and merges
-are vectorised.  Values stay inside int64: ``|W| <= m``, ``|S| <= m*N``
-(< 2^53 for every configuration we run), and ``F < p = 2^61 - 1``.
+Bulk ingestion layout
+---------------------
+Logically, cell ``(c, l)`` of an L0-sampler holds the coordinates whose
+geometric level in column ``c`` is *at least* ``l`` -- a prefix of the
+level axis.  Storing those prefixes directly would force every update
+to touch ``levels`` cells per column.  We instead store the
+*differential* form: :attr:`RecoveryMatrix.Wd` ``[c, lv]`` holds the
+contribution of coordinates whose level is *exactly* ``lv``, so an
+update touches exactly one cell per column and bulk ingestion becomes a
+single scatter-add.  Queries rebuild the prefix cells with one reverse
+cumulative sum per column (the materialized :attr:`W` / :attr:`S` /
+:attr:`F` views), which is where the classic triple above reappears bit
+for bit.
+
+The fingerprint needs mod-p sums, but a scatter-add cannot reduce mod p
+on the fly without risking int64 overflow.  So ``F`` is stored as two
+*limb* accumulators, plain int64 sums with no reduction:
+
+    Flo = sum x_i * (z^i mod p & (2^32-1)),   Fhi = sum x_i * (z^i >> 32)
+
+and ``F = (Flo + 2^32 * Fhi) mod p`` is recomputed on read.  Both limbs
+stay linear, so merges remain plain additions.  A mass counter bounds
+``|Flo| <= mass * 2^32``; once the mass reaches ``2^24`` the limbs are
+*renormalized* (fold to the canonical residue, re-split), keeping every
+intermediate -- including the query-time cumulative sums over at most 64
+levels -- below ``2^63``.  Renormalization preserves the represented
+value exactly, so the sequential and bulk paths stay bit-identical.
+
+Physically, one matrix is a single ``(4, columns, levels)`` int64 block
+holding ``(Wd, Sd, Flo, Fhi)`` -- a whole update is then *one* scatter
+into the flattened block, and a merge is one array addition.  A
+:class:`RecoveryPool` stacks many matrices into a ``(count, 4, columns,
+levels)`` block so the family-level bulk router can ingest a batch for
+every vertex at once.
+
+Magnitudes: ``|W| <= m``, ``|S| <= levels * m * N`` (< 2^59 for every
+configuration we run), limbs as above.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.sketch.hashing import MERSENNE_P
 
+#: Renormalize the fingerprint limbs once this much absolute update
+#: mass (sum of |delta|) has accumulated.  2^24 keeps the level-axis
+#: cumulative sums exact in int64 with a wide margin (see module doc).
+RENORM_MASS = 1 << 24
+
+_MASK32 = (1 << 32) - 1
+_MASK29 = (1 << 29) - 1
+
+#: Rows of the stacked cell block.
+_QW, _QS, _QLO, _QHI = 0, 1, 2, 3
+
+
+def _combine_limb_scalars(lo: int, hi: int) -> int:
+    """``(lo + 2^32 * hi) mod p`` for Python-int limbs (exact bigints)."""
+    return (lo + (hi << 32)) % MERSENNE_P
+
+
+def _scatter_weights(deltas: np.ndarray, idxs: np.ndarray,
+                     zpows: np.ndarray, columns: int) -> np.ndarray:
+    """Per-point scatter weights for all four quantities, flattened in
+    (point, quantity, column) order -- the single definition both the
+    standalone :meth:`RecoveryMatrix.apply_many` and the pooled
+    :meth:`RecoveryPool.apply_points` scatters rely on, so the
+    bit-identical sequential/bulk contract has one source of truth."""
+    return np.repeat(
+        np.stack(
+            [deltas, deltas * idxs, deltas * (zpows & _MASK32),
+             deltas * (zpows >> 32)],
+            axis=1,
+        ).ravel(),
+        columns,
+    )
+
+
+def _combine_limbs(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """``(lo + 2^32 * hi) mod p`` for int64 limb arrays (any sign).
+
+    Reduces each limb mod p first, then applies the shift-by-32 with
+    29/32-bit sub-limbs so every intermediate fits int64 (numpy's ``%``
+    returns non-negative remainders, matching Python).
+    """
+    lo_m = lo % MERSENNE_P
+    hi_m = hi % MERSENNE_P
+    # (hi_m << 32) mod p: split hi_m = top*2^29 + bot, use 2^61 === 1.
+    top = hi_m >> 29
+    bot = hi_m & _MASK29
+    shifted = top + (bot << 32)                        # < 2^62
+    shifted = (shifted & MERSENNE_P) + (shifted >> 61)
+    shifted = np.where(shifted >= MERSENNE_P, shifted - MERSENNE_P,
+                       shifted)
+    return (lo_m + shifted) % MERSENNE_P
+
+
+def _renormalize_limbs(Flo: np.ndarray, Fhi: np.ndarray) -> None:
+    """Fold the limbs to the canonical residue and re-split in place.
+
+    Afterwards ``0 <= Flo < 2^32`` and ``0 <= Fhi < 2^29`` (mass 1)
+    while the represented value ``(Flo + 2^32*Fhi) mod p`` is unchanged.
+    """
+    value = _combine_limbs(Flo, Fhi)
+    Flo[...] = value & _MASK32
+    Fhi[...] = value >> 32
+
+
+def _suffix_cumsum(arr: np.ndarray) -> np.ndarray:
+    """Reverse cumulative sum along the last (level) axis."""
+    return np.cumsum(arr[..., ::-1], axis=-1)[..., ::-1]
+
 
 class RecoveryMatrix:
     """A (columns x levels) grid of 1-sparse recovery cells.
 
-    The grid is updated by :meth:`apply`, which adds ``delta`` at
-    coordinate ``idx`` to the level-prefix of every column: coordinate
-    ``idx`` belongs to levels ``0 .. col_levels[c]`` of column ``c``
-    (geometric level sampling, decided by the owner's hash functions).
+    The grid is updated by :meth:`apply` / :meth:`apply_many`: adding
+    ``delta`` at coordinate ``idx`` touches the cell at ``idx``'s exact
+    level in every column (differential storage, see module docstring);
+    the level of ``idx`` in column ``c`` is ``col_levels[c]``, decided
+    by the owner's hash functions.
+
+    A matrix either owns its cell block or is a view into a
+    :class:`RecoveryPool` row (the per-vertex sketches of one
+    :class:`~repro.sketch.graph_sketch.SketchFamily` share a pool so the
+    bulk router can update all of them with one scatter).
     """
 
-    __slots__ = ("columns", "levels", "W", "S", "F", "_level_index")
+    __slots__ = ("columns", "levels", "cells", "_f_mass", "_pool",
+                 "_pool_slot", "_cell_base", "_q_offsets", "_flat_cells",
+                 "_scratch_vals")
 
     def __init__(self, columns: int, levels: int):
         if columns < 1 or levels < 1:
             raise ValueError("need at least one column and one level")
         self.columns = columns
         self.levels = levels
-        self.W = np.zeros((columns, levels), dtype=np.int64)
-        self.S = np.zeros((columns, levels), dtype=np.int64)
-        self.F = np.zeros((columns, levels), dtype=np.int64)
-        self._level_index = np.arange(levels, dtype=np.int64)[None, :]
+        self.cells = np.zeros((4, columns, levels), dtype=np.int64)
+        self._f_mass = 0
+        self._pool: Optional["RecoveryPool"] = None
+        self._pool_slot = -1
+        self._cell_base = np.arange(columns, dtype=np.int64) * levels
+        self._q_offsets = (np.arange(4, dtype=np.int64)
+                           * (columns * levels))[:, None]
+        self._flat_cells = self.cells.reshape(-1)
+        self._scratch_vals = np.empty((4, columns), dtype=np.int64)
+
+    def _rebind_cells(self, cells: np.ndarray) -> None:
+        """Point this matrix at a different cell block (pool view/copy)."""
+        self.cells = cells
+        self._flat_cells = cells.reshape(-1)
+
+    # -- stacked-block accessors ----------------------------------------
+    @property
+    def Wd(self) -> np.ndarray:
+        """Differential counts: cell ``(c, lv)`` sums exact level lv."""
+        return self.cells[_QW]
+
+    @property
+    def Sd(self) -> np.ndarray:
+        """Differential index-sums (see :attr:`Wd`)."""
+        return self.cells[_QS]
+
+    @property
+    def Flo(self) -> np.ndarray:
+        """Low fingerprint limb (see module docstring)."""
+        return self.cells[_QLO]
+
+    @property
+    def Fhi(self) -> np.ndarray:
+        """High fingerprint limb (see module docstring)."""
+        return self.cells[_QHI]
+
+    # ------------------------------------------------------------------
+    # Mass bookkeeping (fingerprint-limb overflow control)
+    # ------------------------------------------------------------------
+    @property
+    def _mass(self) -> int:
+        if self._pool is not None:
+            return int(self._pool.row_mass[self._pool_slot])
+        return self._f_mass
+
+    def _bump_mass(self, amount: int) -> None:
+        if self._pool is not None:
+            self._pool.bump_row(self._pool_slot, amount)
+            return
+        self._f_mass += amount
+        if self._f_mass > RENORM_MASS:
+            _renormalize_limbs(self.cells[_QLO], self.cells[_QHI])
+            self._f_mass = 1
 
     # ------------------------------------------------------------------
     # Updates / merging (linear operations)
@@ -54,47 +212,89 @@ class RecoveryMatrix:
         """Add ``delta`` at coordinate ``idx``.
 
         ``col_levels`` is the per-column top level of ``idx`` (shape
-        ``(columns,)``); ``zpow`` is ``z^idx mod p``.
+        ``(columns,)``); ``zpow`` is ``z^idx mod p``.  One fancy
+        scatter into the stacked cell block covers all four quantities.
         """
-        mask = self._level_index <= col_levels[:, None]
-        self.W += delta * mask
-        self.S += (delta * idx) * mask
-        self.F = (self.F + (delta * zpow) * mask) % MERSENNE_P
+        flat = (self._q_offsets + (self._cell_base + col_levels)).ravel()
+        values = self._scratch_vals
+        values[_QW] = delta
+        values[_QS] = delta * idx
+        values[_QLO] = delta * (zpow & _MASK32)
+        values[_QHI] = delta * (zpow >> 32)
+        self._flat_cells[flat] += values.ravel()
+        self._bump_mass(abs(delta))
+
+    def apply_many(self, col_levels: np.ndarray, idxs: np.ndarray,
+                   deltas: np.ndarray, zpows: np.ndarray) -> None:
+        """Add many coordinates at once: one scatter for everything.
+
+        ``col_levels`` has shape ``(e, columns)``; ``idxs``, ``deltas``
+        and ``zpows`` have shape ``(e,)`` (all int64, ``zpows`` in
+        ``[0, p)``).  Exactly equivalent to ``e`` :meth:`apply` calls --
+        the scatter targets the same cells with the same integer
+        arithmetic, just without the per-edge Python dispatch.
+        """
+        e = idxs.shape[0]
+        if e == 0:
+            return
+        cell_flat = self._cell_base[None, :] + col_levels       # (e, c)
+        flat = (cell_flat[:, None, :]
+                + self._q_offsets[None, :, :]).ravel()          # e*4*c
+        weights = _scatter_weights(deltas, idxs, zpows, self.columns)
+        np.add.at(self._flat_cells, flat, weights)
+        self._bump_mass(int(np.abs(deltas).sum()))
 
     def merge_from(self, other: "RecoveryMatrix") -> None:
         """Add another matrix (sketch linearity, Remark 3.2)."""
         if (other.columns, other.levels) != (self.columns, self.levels):
             raise ValueError("cannot merge matrices of different shapes")
-        self.W += other.W
-        self.S += other.S
-        self.F = (self.F + other.F) % MERSENNE_P
+        self.cells += other.cells
+        self._bump_mass(other._mass)
 
     def copy(self) -> "RecoveryMatrix":
         dup = RecoveryMatrix(self.columns, self.levels)
-        dup.W = self.W.copy()
-        dup.S = self.S.copy()
-        dup.F = self.F.copy()
+        dup._rebind_cells(self.cells.copy())
+        dup._f_mass = self._mass
         return dup
 
     @staticmethod
     def sum_of(matrices: "list[RecoveryMatrix]") -> "RecoveryMatrix":
         """Sum many matrices (component merge).
 
-        ``F`` is reduced mod p after every addition so the running value
-        stays below ``2p < 2^62`` and cannot overflow int64 regardless of
-        how many matrices are merged.
+        The fingerprint limbs are renormalized whenever the running
+        mass exceeds the threshold, so the accumulator stays inside
+        int64 regardless of how many matrices are merged.
         """
         if not matrices:
             raise ValueError("need at least one matrix to sum")
         first = matrices[0]
         out = RecoveryMatrix(first.columns, first.levels)
-        out.W = np.sum([m.W for m in matrices], axis=0)
-        out.S = np.sum([m.S for m in matrices], axis=0)
-        acc = np.zeros_like(first.F)
         for matrix in matrices:
-            acc = (acc + matrix.F) % MERSENNE_P
-        out.F = acc
+            out.merge_from(matrix)
         return out
+
+    # ------------------------------------------------------------------
+    # Materialized prefix views (the classic W / S / F triples)
+    # ------------------------------------------------------------------
+    @property
+    def W(self) -> np.ndarray:
+        """Materialized prefix counts: cell ``(c, l)`` sums levels >= l.
+
+        A snapshot for queries and inspection -- writing to it does not
+        affect the matrix.
+        """
+        return _suffix_cumsum(self.cells[_QW])
+
+    @property
+    def S(self) -> np.ndarray:
+        """Materialized prefix index-sums (see :attr:`W`)."""
+        return _suffix_cumsum(self.cells[_QS])
+
+    @property
+    def F(self) -> np.ndarray:
+        """Materialized prefix fingerprints mod p (see :attr:`W`)."""
+        return _combine_limbs(_suffix_cumsum(self.cells[_QLO]),
+                              _suffix_cumsum(self.cells[_QHI]))
 
     # ------------------------------------------------------------------
     # Recovery
@@ -102,15 +302,15 @@ class RecoveryMatrix:
     def column_is_zero(self, col: int) -> bool:
         """True iff column ``col`` looks like the zero vector.
 
-        Checked on level 0, which contains every coordinate; the
-        fingerprint makes a false zero require ``F = 0`` for a nonzero
-        polynomial evaluation (probability ``< N/p``).
+        Checked on the level-0 prefix, which contains every coordinate;
+        the fingerprint makes a false zero require ``F = 0`` for a
+        nonzero polynomial evaluation (probability ``< N/p``).
         """
-        return (
-            int(self.W[col, 0]) == 0
-            and int(self.S[col, 0]) == 0
-            and int(self.F[col, 0]) == 0
-        )
+        sums = self.cells[:, col, :].sum(axis=1)
+        if int(sums[_QW]) != 0 or int(sums[_QS]) != 0:
+            return False
+        return _combine_limb_scalars(int(sums[_QLO]),
+                                     int(sums[_QHI])) == 0
 
     def recover(
         self,
@@ -124,9 +324,8 @@ class RecoveryMatrix:
         passes the divisibility, range, and fingerprint tests; ``None``
         if every level rejects (the sampler's ``bottom`` outcome).
         """
-        W_col = self.W[col]
-        S_col = self.S[col]
-        F_col = self.F[col]
+        prefix = np.cumsum(self.cells[:, col, ::-1], axis=1)[:, ::-1]
+        W_col, S_col, lo_col, hi_col = prefix
         for level in range(self.levels):
             w = int(W_col[level])
             if w == 0:
@@ -137,7 +336,9 @@ class RecoveryMatrix:
             idx = s // w
             if not 0 <= idx < max_index:
                 continue
-            if fingerprint_ok(idx, w, int(F_col[level])):
+            fingerprint = _combine_limb_scalars(int(lo_col[level]),
+                                                int(hi_col[level]))
+            if fingerprint_ok(idx, w, fingerprint):
                 return idx
         return None
 
@@ -146,10 +347,151 @@ class RecoveryMatrix:
     # ------------------------------------------------------------------
     @property
     def words(self) -> int:
-        """Accounting footprint: three words per cell."""
+        """Accounting footprint: three words per cell.
+
+        The fingerprint's two int64 limbs represent one logical field
+        element (61 bits plus carry slack), so the model-level count
+        stays at three words per cell.
+        """
         return 3 * self.columns * self.levels
 
     def is_entirely_zero(self) -> bool:
         return (
-            not self.W.any() and not self.S.any() and not self.F.any()
+            not self.cells[_QW].any()
+            and not self.cells[_QS].any()
+            and not self.F.any()
         )
+
+
+class RecoveryPool:
+    """Stacked recovery cells for a whole family of matrices.
+
+    Holds ``count`` matrices' differential cells as one contiguous
+    ``(count, 4, columns, levels)`` block.  :meth:`matrix` hands out
+    view-backed :class:`RecoveryMatrix` rows -- they behave exactly like
+    standalone matrices -- while :meth:`apply_points` lets the bulk
+    ingestion router update *many rows with one scatter*, which is what
+    makes batch ingestion independent of the Python-level per-edge
+    dispatch cost.
+    """
+
+    __slots__ = ("count", "columns", "levels", "cells", "f_mass",
+                 "row_mass", "_col_offsets", "_q_offsets", "_flat",
+                 "_view_cell_base", "_view_q_offsets", "_view_scratch")
+
+    def __init__(self, count: int, columns: int, levels: int):
+        if count < 1:
+            raise ValueError("need at least one slot")
+        if columns < 1 or levels < 1:
+            raise ValueError("need at least one column and one level")
+        self.count = count
+        self.columns = columns
+        self.levels = levels
+        self.cells = np.zeros((count, 4, columns, levels), dtype=np.int64)
+        #: Total mass and per-row (per-slot) mass.  The total drives the
+        #: renormalization trigger (it dominates every row); the per-row
+        #: masses give detached copies and merges an accurate bound so
+        #: they do not inherit the whole pool's mass.
+        self.f_mass = 0
+        self.row_mass = np.zeros(count, dtype=np.int64)
+        self._flat = self.cells.reshape(-1)
+        # Index helpers, shared by the pool scatter and by every view
+        # this pool hands out (one definition of the flat layout).
+        self._view_cell_base = np.arange(columns, dtype=np.int64) * levels
+        self._view_q_offsets = (np.arange(4, dtype=np.int64)
+                                * (columns * levels))[:, None]
+        self._col_offsets = self._view_cell_base[None, :]
+        self._q_offsets = self._view_q_offsets[None, :, :]
+        self._view_scratch = np.empty((4, columns), dtype=np.int64)
+
+    # -- per-quantity views (inspection / tests) ------------------------
+    @property
+    def Wd(self) -> np.ndarray:
+        return self.cells[:, _QW]
+
+    @property
+    def Sd(self) -> np.ndarray:
+        return self.cells[:, _QS]
+
+    @property
+    def Flo(self) -> np.ndarray:
+        return self.cells[:, _QLO]
+
+    @property
+    def Fhi(self) -> np.ndarray:
+        return self.cells[:, _QHI]
+
+    def matrix(self, slot: int) -> RecoveryMatrix:
+        """A view-backed matrix over row ``slot`` of the pool.
+
+        Built without the standalone constructor's cell-block
+        allocation; the small index/scratch helper arrays are shared
+        across all of this pool's views (they are read-only except the
+        scratch, which every ``apply`` call fully overwrites first).
+
+        Two views of the same slot alias the same cells -- callers
+        wanting an independent zero matrix should construct a
+        standalone :class:`RecoveryMatrix` instead.
+        """
+        if not 0 <= slot < self.count:
+            raise ValueError(f"slot {slot} outside pool of {self.count}")
+        view = RecoveryMatrix.__new__(RecoveryMatrix)
+        view.columns = self.columns
+        view.levels = self.levels
+        view._f_mass = 0
+        view._pool = self
+        view._pool_slot = slot
+        view._cell_base = self._view_cell_base
+        view._q_offsets = self._view_q_offsets
+        view._scratch_vals = self._view_scratch
+        view._rebind_cells(self.cells[slot])
+        return view
+
+    # ------------------------------------------------------------------
+    def bump_mass(self, amount: int) -> None:
+        """Record update mass; renormalize the whole pool when due.
+
+        The pool total over-approximates every row's mass, so one
+        pool-wide renormalization keeps all rows inside the int64
+        envelope.  Renormalization preserves represented values
+        exactly (it only changes the limb decomposition).
+        """
+        self.f_mass += amount
+        if self.f_mass > RENORM_MASS:
+            _renormalize_limbs(self.cells[:, _QLO], self.cells[:, _QHI])
+            self.f_mass = 1
+            self.row_mass[:] = 1
+
+    def bump_row(self, slot: int, amount: int) -> None:
+        """Record update mass against one slot (scalar view updates)."""
+        self.row_mass[slot] += amount
+        self.bump_mass(amount)
+
+    def apply_points(self, slots: np.ndarray, col_levels: np.ndarray,
+                     idxs: np.ndarray, deltas: np.ndarray,
+                     zpows: np.ndarray) -> None:
+        """Scatter many (slot, coordinate, delta) updates at once.
+
+        ``slots``, ``idxs``, ``deltas``, ``zpows`` have shape ``(e,)``
+        and ``col_levels`` has shape ``(e, columns)``.  Duplicate
+        (slot, cell) targets accumulate correctly (``np.add.at``), so
+        the result is bit-identical to applying the points one at a
+        time to the individual row matrices in any order.
+        """
+        e = slots.shape[0]
+        if e == 0:
+            return
+        row_words = 4 * self.columns * self.levels
+        cell_flat = self._col_offsets + col_levels              # (e, c)
+        flat = ((slots * row_words)[:, None, None]
+                + self._q_offsets + cell_flat[:, None, :]).ravel()
+        weights = _scatter_weights(deltas, idxs, zpows, self.columns)
+        np.add.at(self._flat, flat, weights)
+        mass = np.abs(deltas)
+        np.add.at(self.row_mass, slots, mass)
+        self.bump_mass(int(mass.sum()))
+
+    @property
+    def words(self) -> int:
+        """Accounting footprint: three words per cell (see matrix)."""
+        return 3 * self.count * self.columns * self.levels
