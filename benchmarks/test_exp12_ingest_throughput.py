@@ -1,9 +1,9 @@
-"""EXP-12: sketch ingestion throughput, per-edge vs vectorized bulk.
+"""EXP-12/EXP-13: sketch throughput, per-edge vs vectorized bulk.
 
 The batch-dynamic regime funnels ~O(n^phi) updates per phase through the
 per-vertex AGM sketches, so ingestion throughput bounds every
-algorithm's wall-clock.  This experiment measures edges/second for the
-same edge batch ingested
+algorithm's wall-clock.  EXP-12 measures edges/second for the same edge
+batch ingested
 
 * **sequentially** -- one :meth:`VertexSketch.apply_edge` call per
   (edge, endpoint), the pre-vectorization hot path, and
@@ -14,6 +14,21 @@ same edge batch ingested
 asserts the two leave bit-identical sketch state, and writes the
 numbers to ``BENCH_ingest.json`` so future PRs can track the perf
 trajectory.
+
+EXP-13 is the query-side twin at the same ``(n, batch)`` point: one AGM
+halving iteration's worth of work -- a zero test plus one column's
+cut-edge recovery for every supernode -- run
+
+* **sequentially** -- ``is_zero()`` + ``sample_column()`` per sketch,
+  the pre-vectorization query path, and
+* **bulk** -- one fused ``L0Sampler.query_many`` pass over all
+  supernodes (the primitive behind
+  ``SketchFamily.query_iteration_bulk``, the shape
+  ``_agm_replacements`` and the static AGM contraction consume),
+
+asserts bit-identical answers, and merges edges-recovered/second into
+the same ``BENCH_ingest.json`` so the trajectory file tracks both
+halves of the pipeline.
 """
 
 from __future__ import annotations
@@ -36,6 +51,8 @@ REPS = 7
 # to a conservative floor so shared-runner noise cannot fail the build
 # while local/driver runs still enforce the full 5x contract.
 SPEEDUP_FLOOR = float(os.environ.get("INGEST_SPEEDUP_FLOOR", "5.0"))
+# Same idea for the EXP-13 query side (acceptance contract: >= 3x).
+QUERY_SPEEDUP_FLOOR = float(os.environ.get("QUERY_SPEEDUP_FLOOR", "3.0"))
 
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
 
@@ -129,3 +146,114 @@ def test_exp12_ingest_throughput(benchmark):
     )
 
     benchmark(lambda: _time_bulk(us, vs)[0])
+
+
+# ---------------------------------------------------------------------------
+# EXP-13: query throughput (the recovery side of the same pipeline)
+# ---------------------------------------------------------------------------
+
+QUERY_COLUMN = 0
+
+
+def _loaded_samplers():
+    """A family with the EXP-12 batch ingested; one sampler per vertex.
+
+    The per-vertex sketches double as the "supernode" sketches of the
+    first AGM halving iteration, which is exactly the workload
+    ``_agm_replacements`` and the static contraction put on the query
+    path.
+    """
+    _, us, vs = _edge_batch()
+    family, sketches = _fresh_family()
+    family.apply_edges_bulk(us, vs, np.ones(len(us), dtype=np.int64))
+    samplers = [sketches[v].sampler for v in range(N)]
+    return family, samplers
+
+
+def _query_sequential(family, samplers):
+    """Scalar zero test + one-column recovery per supernode."""
+    start = time.perf_counter()
+    zeros = [
+        all(s.matrix.column_is_zero(c) for c in range(family.columns))
+        for s in samplers
+    ]
+    edges = [
+        None if zero else s.sample_column(QUERY_COLUMN)
+        for s, zero in zip(samplers, zeros)
+    ]
+    elapsed = time.perf_counter() - start
+    return elapsed, zeros, edges
+
+
+def _query_bulk(family, samplers):
+    """One fused vectorized zero-test + recovery pass for all."""
+    from repro.sketch import L0Sampler
+
+    start = time.perf_counter()
+    zeros, found = L0Sampler.query_many(samplers, QUERY_COLUMN)
+    elapsed = time.perf_counter() - start
+    edges = [None if idx < 0 else int(idx) for idx in found]
+    return elapsed, [bool(z) for z in zeros], edges
+
+
+def test_exp13_query_throughput(benchmark):
+    family, samplers = _loaded_samplers()
+
+    # Warm-up, then best-of-REPS each way.
+    _query_sequential(family, samplers)
+    _query_bulk(family, samplers)
+    seq_time, seq_zeros, seq_edges = min(
+        (_query_sequential(family, samplers) for _ in range(REPS)),
+        key=lambda triple: triple[0],
+    )
+    bulk_time, bulk_zeros, bulk_edges = min(
+        (_query_bulk(family, samplers) for _ in range(REPS)),
+        key=lambda triple: triple[0],
+    )
+
+    # The batched query path must answer exactly what the scalar one
+    # does (the tentpole's correctness contract, mirroring EXP-12).
+    assert bulk_zeros == seq_zeros
+    assert bulk_edges == seq_edges
+
+    recovered = sum(1 for e in seq_edges if e is not None)
+    assert recovered > 0, "workload must actually recover edges"
+    seq_rps = recovered / seq_time
+    bulk_rps = recovered / bulk_time
+    speedup = bulk_rps / seq_rps
+    rows = [{
+        "path": name,
+        "time/iteration (ms)": round(secs * 1e3, 3),
+        "edges recovered/sec": round(rps),
+    } for name, secs, rps in (
+        ("per-supernode", seq_time, seq_rps),
+        ("bulk", bulk_time, bulk_rps),
+    )]
+    print_table(rows, title=f"EXP-13 query throughput "
+                            f"(n={N}, batch={BATCH}, "
+                            f"supernodes={len(samplers)}, "
+                            f"speedup {speedup:.1f}x)")
+
+    # Merge into the shared trajectory file (EXP-12 writes the
+    # ingestion half; keep whatever is already there).
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload.update({
+        "query_supernodes": len(samplers),
+        "query_column": QUERY_COLUMN,
+        "query_edges_recovered": recovered,
+        "query_sequential_recovered_per_sec": seq_rps,
+        "query_bulk_recovered_per_sec": bulk_rps,
+        "query_speedup": speedup,
+        "query_reps": REPS,
+    })
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= QUERY_SPEEDUP_FLOOR, (
+        f"bulk query speedup {speedup:.2f}x below the "
+        f"{QUERY_SPEEDUP_FLOOR}x floor (seq {seq_rps:.0f} r/s, "
+        f"bulk {bulk_rps:.0f} r/s)"
+    )
+
+    benchmark(lambda: _query_bulk(family, samplers)[0])

@@ -18,6 +18,7 @@ from repro.mpc.metrics import PhaseMetrics
 from repro.mpc.simulator import Cluster
 from repro.sketch.graph_sketch import SketchFamily
 from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.sparse_recovery import MergeScratch
 from repro.types import Edge, ForestSolution, Update
 
 
@@ -37,6 +38,7 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
         self.sketches = {v: self.family.new_vertex_sketch(v)
                          for v in range(config.n)}
         self.stats = {"query_iterations": 0, "sketch_failures": 0}
+        self._merge_scratch = MergeScratch()
         self._register_memory()
 
     # ------------------------------------------------------------------
@@ -76,42 +78,55 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
                 x = leader[x]
             return x
 
+        # Supernode accumulators start as copies of the vertex
+        # sketches, drawn from the scratch pool so repeated queries
+        # reuse the same blocks instead of allocating n matrices each.
+        self._merge_scratch.reset()
         merged: Dict[int, L0Sampler] = {
-            v: self.sketches[v].sampler.copy() for v in range(n)
+            v: L0Sampler.merged([self.sketches[v].sampler],
+                                scratch=self._merge_scratch)
+            for v in range(n)
         }
         forest_edges: List[Edge] = []
         iterations = 0
         for column in range(self.family.columns):
-            roots = [r for r in merged if find(r) == r]
-            live = [r for r in roots if not merged[r].is_zero()]
-            if not live:
+            roots = sorted(r for r in merged if find(r) == r)
+            # One halving iteration: merge supernode sketches (converge
+            # tree), query every live supernode *in parallel* -- one
+            # fused vectorized zero-test + recovery for the whole
+            # column -- and route the recovered edges (one exchange).
+            # Gathering all samples before contracting is the faithful
+            # MPC super-step: within an iteration every machine
+            # queries the sketch state from the iteration's start.
+            zeros, sampled = self.family.query_iteration_bulk(
+                [merged[r] for r in roots], column
+            )
+            if zeros.all():
                 break
             iterations += 1
-            # One halving iteration: merge supernode sketches (converge
-            # tree) and route the recovered edges (one exchange).
+            live_count = int((~zeros).sum())
             self.cluster.charge_converge(
                 words=self.family.words_per_vertex, category="query-merge"
             )
             self.cluster.charge_exchange(
-                messages=len(live), words=len(live), category="query-route"
+                messages=live_count, words=live_count,
+                category="query-route",
             )
-            for root in sorted(live):
-                if root not in merged:
-                    continue  # already contracted earlier this iteration
-                idx = merged[root].sample_column(column)
-                if idx is None:
+            for root, edge in zip(roots, sampled):
+                if edge is None:
                     continue
-                a, b = self.family.decode(idx)
+                a, b = edge
                 ra, rb = find(a), find(b)
                 if ra == rb:
                     continue
                 leader[ra] = rb
-                merged[rb] = L0Sampler.merged([merged[rb], merged[ra]])
+                merged[rb].merge_from(merged[ra])
                 del merged[ra]
                 forest_edges.append((a, b))
         self.stats["query_iterations"] = iterations
-        leftovers = [r for r in merged if find(r) == r
-                     and not merged[r].is_zero()]
+        remaining = sorted(r for r in merged if find(r) == r)
+        zero = L0Sampler.is_zero_many([merged[r] for r in remaining])
+        leftovers = [r for r, is_z in zip(remaining, zero) if not is_z]
         self.stats["sketch_failures"] += len(leftovers)
         return ForestSolution(n=n, edges=sorted(forest_edges), weights=[])
 

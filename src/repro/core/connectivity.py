@@ -31,6 +31,7 @@ from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import Cluster
 from repro.sketch.graph_sketch import SketchFamily
 from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.sparse_recovery import MergeScratch
 from repro.types import Edge, ForestSolution, Update, canonical
 
 
@@ -55,6 +56,7 @@ class MPCConnectivity(BatchDynamicAlgorithm):
         self.components = ComponentIds(config.n)
         self.strict = strict
         self._column_cursor = 0
+        self._merge_scratch = MergeScratch()
         self.stats: Dict[str, int] = {
             "replacement_edges": 0,
             "sketch_failures": 0,
@@ -230,11 +232,16 @@ class MPCConnectivity(BatchDynamicAlgorithm):
             total_words=len(fragments) * self.family.words_per_vertex,
             category="build-H",
         )
+        # Fragment merges draw their accumulators from the scratch
+        # pool; the previous phase's merged sketches are dead by now,
+        # so their blocks are safe to recycle.
+        self._merge_scratch.reset()
         merged: Dict[int, L0Sampler] = {}
         for tid in fragments:
             stacks = [self.sketches[v].sampler
                       for v in self.forest.tour_vertices(tid)]
-            merged[tid] = L0Sampler.merged(stacks)
+            merged[tid] = L0Sampler.merged(stacks,
+                                           scratch=self._merge_scratch)
 
         replacement_edges = self._agm_replacements(fragments, merged)
         if replacement_edges:
@@ -279,19 +286,25 @@ class MPCConnectivity(BatchDynamicAlgorithm):
         iterations = 0
         for it in range(columns):
             # Supernodes with an empty cut are finished components;
-            # everything else must still have a replacement edge to find.
-            live = [root for root in sorted(roots)
-                    if not merged[root].is_zero()]
-            if not live:
+            # everything else must still have a replacement edge to
+            # find.  One fused vectorized pass answers this halving
+            # iteration's zero test and cut-edge query for every
+            # supernode (only live ones pay for recovery).
+            ordered = sorted(roots)
+            if not ordered:
                 break
             column = (self._column_cursor + it) % columns
+            zeros, sampled = self.family.query_iteration_bulk(
+                [merged[root] for root in ordered], column
+            )
+            if zeros.all():
+                break
             iterations = it + 1
-            candidates: List[Tuple[int, Edge]] = []
-            for root in live:
-                idx = merged[root].sample_column(column)
-                if idx is None:
-                    continue
-                candidates.append((root, self.family.decode(idx)))
+            candidates: List[Tuple[int, Edge]] = [
+                (root, edge)
+                for root, is_z, edge in zip(ordered, zeros, sampled)
+                if not is_z and edge is not None
+            ]
             for root, (a, b) in candidates:
                 tid_a = self.forest.tree_id(a)
                 tid_b = self.forest.tree_id(b)
@@ -300,17 +313,26 @@ class MPCConnectivity(BatchDynamicAlgorithm):
                 if ra is None or rb is None or ra == rb:
                     continue
                 leader[ra] = rb
-                merged[rb] = L0Sampler.merged([merged[rb], merged[ra]])
+                # In-place supernode merge: the accumulators are
+                # scratch-backed standalone matrices this phase owns.
+                merged[rb].merge_from(merged[ra])
                 roots.discard(ra)
                 replacement.append((a, b))
         self.stats["agm_iterations"] = max(
             self.stats["agm_iterations"], iterations
         )
-        self._column_cursor = (self._column_cursor + max(1, iterations)) \
-            % columns
+        # Advance only past the columns actually consumed: a no-op
+        # phase (no live fragments) must not burn fresh randomness.
+        self._column_cursor = (self._column_cursor + iterations) % columns
 
         # Anything still live has a nonzero cut we failed to recover.
-        leftovers = [root for root in roots if not merged[root].is_zero()]
+        remaining = sorted(roots)
+        leftover_zero = (
+            L0Sampler.is_zero_many([merged[r] for r in remaining])
+            if remaining else []
+        )
+        leftovers = [root for root, is_z in zip(remaining, leftover_zero)
+                     if not is_z]
         if leftovers:
             self.stats["sketch_failures"] += len(leftovers)
             if self.strict:

@@ -19,6 +19,7 @@ from repro.core.components import ComponentIds
 from repro.errors import InvalidUpdateError, SketchFailureError
 from repro.euler.sequential import EulerTourForest
 from repro.sketch.graph_sketch import MergedSketch, SketchFamily, VertexSketch
+from repro.sketch.sparse_recovery import MergeScratch
 from repro.types import Edge, ForestSolution, Op, Update, canonical
 
 
@@ -59,6 +60,7 @@ class StreamingConnectivity:
         self.strict = strict
         self.sketch_failures = 0
         self._column_cursor = 0
+        self._merge_scratch = MergeScratch()
         self._edges: Set[Edge] = set()
 
     # ------------------------------------------------------------------
@@ -156,14 +158,24 @@ class StreamingConnectivity:
         deletions do not keep consuming the same randomness.  A sampled
         edge is accepted only if it genuinely crosses the split (the
         fingerprint makes anything else vanishingly unlikely).
+
+        The merge accumulator comes from the scratch pool (the
+        previous deletion's merged sketch is dead by now), and the
+        whole column scan is recovered in one vectorized pass; the
+        accept/reject walk over the per-column results is unchanged,
+        so the outcome is bit-identical to the sequential scan.
         """
-        merged = MergedSketch.of([self.sketches[x] for x in z_u])
+        self._merge_scratch.reset()
+        merged = MergedSketch.of([self.sketches[x] for x in z_u],
+                                 scratch=self._merge_scratch)
         if merged.cut_is_empty():
             return None
         columns = self.family.columns
-        for offset in range(columns):
-            column = (self._column_cursor + offset) % columns
-            candidate = merged.sample_cut_edge(column)
+        order = [(self._column_cursor + offset) % columns
+                 for offset in range(columns)]
+        sampled = merged.sample_cut_edges(np.asarray(order,
+                                                     dtype=np.int64))
+        for column, candidate in zip(order, sampled):
             if candidate is None:
                 continue
             a, b = candidate

@@ -57,12 +57,25 @@ class InvalidUpdateError(ReproError):
     """
 
 
+class SketchError(ReproError, ValueError):
+    """Structural misuse of the sketching layer.
+
+    Raised for deterministic errors -- merging sketches of different
+    shapes or randomness, summing an empty collection, querying with
+    mismatched batch arrays -- as opposed to the probabilistic failure
+    event of :class:`SketchFailureError`.  Subclasses ``ValueError``
+    so existing ``except ValueError`` callers keep working.
+    """
+
+
 class SketchFailureError(ReproError):
     """A sketch query failed (all levels of an L0-sampler rejected).
 
     The algorithms treat this as the low-probability failure event the
     paper's "w.h.p." guarantees allow; callers may retry with an
-    independent sketch column.
+    independent sketch column.  Deliberately *not* a
+    :class:`SketchError`: handlers catching deterministic misuse
+    (``ValueError``) must not swallow the probabilistic failure event.
     """
 
 

@@ -11,10 +11,26 @@ group-by-endpoint router ``SketchFamily.apply_edges_bulk``.  The bulk
 path is bit-identical to the sequential one (asserted by
 ``tests/test_bulk_ingestion.py``) and roughly an order of magnitude
 faster per batch (``benchmarks/test_exp12_ingest_throughput.py``).
+
+Bulk queries: the recovery side has the same array-in/array-out
+flavour.  ``RecoveryMatrix.recover_many`` / ``column_is_zero_many``
+decode whole column blocks with the limb arithmetic
+(``recover_from_prefix`` is the shared decoder), ``decode_indices``
+inverts the edge coding for whole batches, and on top of them
+``L0Sampler.sample_columns`` (many columns of one sampler),
+``L0Sampler.sample_many`` / ``is_zero_many`` (one column across many
+samplers sharing randomness), and the family-level router
+``SketchFamily.query_bulk`` / ``cuts_empty_bulk`` answer a whole AGM
+halving iteration's queries in one pass.  ``MergeScratch`` recycles
+merge accumulators across query phases, and the scalar hash memos use
+LRU eviction (``LRUMemo``).  Bit-identical to the sequential query
+path (``tests/test_bulk_query.py``); throughput tracked by EXP-13 in
+``benchmarks/test_exp12_ingest_throughput.py``.
 """
 
 from repro.sketch.edge_coding import (
     decode_index,
+    decode_indices,
     edge_sign,
     edge_signs,
     encode_edge,
@@ -26,6 +42,7 @@ from repro.sketch.hashing import (
     MERSENNE_P,
     FourWiseHash,
     KWiseHash,
+    LRUMemo,
     PairwiseHash,
     addmod_many,
     mulmod_many,
@@ -42,12 +59,15 @@ from repro.sketch.l0_sampler import (
 )
 from repro.sketch.sparse_recovery import (
     RENORM_MASS,
+    MergeScratch,
     RecoveryMatrix,
     RecoveryPool,
+    recover_from_prefix,
 )
 
 __all__ = [
     "decode_index",
+    "decode_indices",
     "edge_sign",
     "edge_signs",
     "encode_edge",
@@ -59,6 +79,7 @@ __all__ = [
     "MERSENNE_P",
     "FourWiseHash",
     "KWiseHash",
+    "LRUMemo",
     "PairwiseHash",
     "addmod_many",
     "mulmod_many",
@@ -71,6 +92,8 @@ __all__ = [
     "SamplerRandomness",
     "levels_for_universe",
     "RENORM_MASS",
+    "MergeScratch",
     "RecoveryMatrix",
     "RecoveryPool",
+    "recover_from_prefix",
 ]

@@ -98,6 +98,53 @@ def decode_index(n: int, idx: int) -> Edge:
     return (i, j)
 
 
+def decode_indices(n: int,
+                   idxs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`decode_index`: many coordinates to ``(i, j)``.
+
+    Returns the pair of int64 arrays ``(us, vs)`` with ``us < vs``,
+    bit-identical to decoding each coordinate with the scalar inverse.
+    The integer square root is taken as a float64 estimate corrected
+    to exactness (the discriminant is far below 2^53 for any feasible
+    ``n``), then the row candidate is fixed up with the same +-1 walk
+    as the scalar code, run as masked array steps.
+    """
+    idxs = np.asarray(idxs, dtype=np.int64)
+    if idxs.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    total = num_pairs(n)
+    if int(idxs.min()) < 0 or int(idxs.max()) >= total:
+        raise ValueError(f"index out of range for n={n}")
+    disc = (2 * n - 1) * (2 * n - 1) - 8 * idxs
+    s = np.floor(np.sqrt(disc.astype(np.float64))).astype(np.int64)
+    s = np.maximum(s - 2, 0)
+    while True:                      # exact isqrt: at most a few steps
+        low = (s + 1) * (s + 1) <= disc
+        if not low.any():
+            break
+        s[low] += 1
+    i = (2 * n - 1 - s) // 2
+    i = np.clip(i, 0, n - 2)
+    offsets = i * n - i * (i + 1) // 2
+    while True:                      # row fix-up, at most +-1 each way
+        high = (i > 0) & (offsets > idxs)
+        if not high.any():
+            break
+        i[high] -= 1
+        offsets = i * n - i * (i + 1) // 2
+    while True:
+        nxt = i + 1
+        nxt_off = nxt * n - nxt * (nxt + 1) // 2
+        low = (i < n - 2) & (nxt_off <= idxs)
+        if not low.any():
+            break
+        i[low] += 1
+        offsets = i * n - i * (i + 1) // 2
+    j = i + 1 + (idxs - offsets)
+    return i, j
+
+
 def edge_sign(vertex: int, u: int, v: int) -> int:
     """Sign of coordinate ``{u, v}`` in vertex ``vertex``'s vector X_vertex.
 

@@ -24,16 +24,25 @@ one ``np.add.at`` pass per quantity.  This is bit-identical to calling
 :meth:`VertexSketch.apply_edge` per edge and endpoint -- the batch
 algorithms (``MPCConnectivity``, preload, MSF, bipartiteness) route
 their sketch updates through it.
+
+Bulk queries are the mirror image: :meth:`SketchFamily.query_bulk`
+answers one column's cut-edge query for *many* merged supernode
+sketches in a single vectorized recovery (the per-iteration shape of
+the AGM halving), :meth:`SketchFamily.cuts_empty_bulk` batches the
+zero tests, and :meth:`MergedSketch.sample_cut_edges` decodes a whole
+column scan of one merged sketch at once.  All are bit-identical to
+their scalar counterparts.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.sketch.edge_coding import (
     decode_index,
+    decode_indices,
     edge_sign,
     edge_signs,
     encode_edge,
@@ -41,7 +50,7 @@ from repro.sketch.edge_coding import (
     num_pairs,
 )
 from repro.sketch.l0_sampler import L0Sampler, SamplerRandomness
-from repro.sketch.sparse_recovery import RecoveryPool
+from repro.sketch.sparse_recovery import MergeScratch, RecoveryPool
 from repro.types import Edge
 
 
@@ -80,6 +89,59 @@ class SketchFamily:
 
     def decode(self, idx: int) -> Edge:
         return decode_index(self.n, idx)
+
+    def decode_many(self, idxs: np.ndarray) -> "List[Optional[Edge]]":
+        """Decode sampled coordinates, passing ``-1`` through as ``None``.
+
+        The vectorized inverse of the edge coding applied to the
+        recovered entries only; the convenience shape every batched
+        query consumer wants (one optional edge per queried sketch).
+        """
+        idxs = np.asarray(idxs, dtype=np.int64)
+        out: List[Optional[Edge]] = [None] * idxs.shape[0]
+        hits = np.flatnonzero(idxs >= 0)
+        if hits.size:
+            us, vs = decode_indices(self.n, idxs[hits])
+            for pos, u, v in zip(hits.tolist(), us.tolist(), vs.tolist()):
+                out[pos] = (u, v)
+        return out
+
+    def query_bulk(self, samplers: "list[L0Sampler]",
+                   column) -> "List[Optional[Edge]]":
+        """Batched cut-edge sampling across many merged sketches.
+
+        ``samplers`` are merged (supernode) samplers sharing this
+        family's randomness; ``column`` is one shared column index or
+        a per-sampler array.  One vectorized recovery answers every
+        supernode's query for the iteration -- entry ``i`` equals
+        decoding ``samplers[i].sample_column(column[i])``, with
+        ``None`` where recovery rejected.  This is the query-side twin
+        of :meth:`apply_edges_bulk`.
+        """
+        return self.decode_many(L0Sampler.sample_many(samplers, column))
+
+    def cuts_empty_bulk(self, samplers: "list[L0Sampler]") -> np.ndarray:
+        """Vectorized ``is_zero`` across many merged sketches.
+
+        Boolean array: entry ``i`` is True iff ``samplers[i]`` sketches
+        the zero vector, i.e. its vertex set has an empty cut (w.h.p.).
+        """
+        return L0Sampler.is_zero_many(samplers)
+
+    def query_iteration_bulk(
+        self, samplers: "list[L0Sampler]", column
+    ) -> "Tuple[np.ndarray, List[Optional[Edge]]]":
+        """One halving iteration's zero tests + cut-edge samples.
+
+        Fuses :meth:`cuts_empty_bulk` and :meth:`query_bulk` over a
+        single cell stack (:meth:`L0Sampler.query_many`): returns
+        ``(zeros, edges)`` where ``zeros[i]`` is the supernode's empty
+        -cut test and ``edges[i]`` its decoded sample from ``column``
+        (``None`` for empty cuts and failed recovery).  The one-call
+        shape both AGM contraction drivers consume per iteration.
+        """
+        zeros, found = L0Sampler.query_many(samplers, column)
+        return zeros, self.decode_many(found)
 
     def new_vertex_sketch(self, vertex: int) -> "VertexSketch":
         """The sketch stack of ``vertex``, backed by the family pool.
@@ -222,7 +284,8 @@ class MergedSketch:
         self.sampler = sampler
 
     @staticmethod
-    def of(members: Iterable[VertexSketch]) -> "MergedSketch":
+    def of(members: Iterable[VertexSketch],
+           scratch: Optional[MergeScratch] = None) -> "MergedSketch":
         stacks: List[VertexSketch] = list(members)
         if not stacks:
             raise ValueError("cannot merge an empty vertex set")
@@ -230,7 +293,8 @@ class MergedSketch:
         for stack in stacks:
             if stack.family is not family:
                 raise ValueError("vertex sketches from different families")
-        merged = L0Sampler.merged([s.sampler for s in stacks])
+        merged = L0Sampler.merged([s.sampler for s in stacks],
+                                  scratch=scratch)
         return MergedSketch(family, merged)
 
     def sample_cut_edge(self, column: int = 0) -> Optional[Edge]:
@@ -246,6 +310,16 @@ class MergedSketch:
         if idx is None:
             return None
         return self.family.decode(idx)
+
+    def sample_cut_edges(self, cols: np.ndarray) -> "List[Optional[Edge]]":
+        """Sample from many columns in one vectorized recovery pass.
+
+        Entry ``i`` equals :meth:`sample_cut_edge` on ``cols[i]`` --
+        the replacement-search scan decoded all at once instead of
+        column by column.
+        """
+        cols = np.asarray(cols, dtype=np.int64) % self.family.columns
+        return self.family.decode_many(self.sampler.sample_columns(cols))
 
     def cut_is_empty(self) -> bool:
         return self.sampler.is_zero()

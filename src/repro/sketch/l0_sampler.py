@@ -19,16 +19,25 @@ coordinate updates with array-level hashing (`levels_of_many`,
 `zpow_many`) and one scatter per recovery quantity -- bit-identical to
 a loop of :meth:`L0Sampler.update` calls, minus the per-update Python
 dispatch.
+
+Bulk queries mirror it on the way out: :meth:`L0Sampler.sample_columns`
+decodes many columns of one sampler in a single pass, and the static
+:meth:`L0Sampler.sample_many` / :meth:`L0Sampler.is_zero_many` stack
+the cells of many samplers sharing one randomness and answer all of
+them at once -- the shape the AGM halving iterations consume (one
+column across all live supernodes per iteration).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
+from repro.errors import SketchError
 from repro.sketch.hashing import (
+    LRUMemo,
     MERSENNE_P,
     PairwiseHash,
     mulmod_many,
@@ -37,14 +46,19 @@ from repro.sketch.hashing import (
     trailing_zeros,
     trailing_zeros_many,
 )
-from repro.sketch.sparse_recovery import RecoveryMatrix
+from repro.sketch.sparse_recovery import (
+    MergeScratch,
+    RecoveryMatrix,
+    _combine_limbs,
+    recover_from_prefix,
+)
 
-#: Cap on the per-coordinate memo dictionaries of
-#: :class:`SamplerRandomness`.  The caches only help when the stream
-#: revisits coordinates (insert/delete churn); bounding them turns an
-#: unbounded slow leak on long streams into a fixed O(1) footprint.
-#: Eviction is FIFO -- enough to keep hot working sets while staying
-#: dead simple.
+#: Cap on the per-coordinate memo caches of :class:`SamplerRandomness`.
+#: The caches only help when the stream revisits coordinates
+#: (insert/delete churn); bounding them turns an unbounded slow leak on
+#: long streams into a fixed O(1) footprint.  Eviction is
+#: least-recently-used (:class:`~repro.sketch.hashing.LRUMemo`), so a
+#: hot coordinate re-queried through capacity churn stays memoized.
 CACHE_LIMIT = 1 << 16
 
 
@@ -81,8 +95,8 @@ class SamplerRandomness:
             PairwiseHash(self._level_range, rng) for _ in range(columns)
         ]
         self.z = random_field_element(rng)
-        self._zpow_cache: Dict[int, int] = {}
-        self._levels_cache: Dict[int, np.ndarray] = {}
+        self._zpow_cache = LRUMemo(CACHE_LIMIT)
+        self._levels_cache = LRUMemo(CACHE_LIMIT)
         # Stacked coefficients of the per-column pairwise hashes:
         # row j holds coefficient a_j of every column's polynomial.
         self._coeff_matrix = np.array(
@@ -95,12 +109,6 @@ class SamplerRandomness:
         while (1 << len(self._zpow_ladder)) < max(2, universe):
             last = self._zpow_ladder[-1]
             self._zpow_ladder.append(last * last % MERSENNE_P)
-
-    @staticmethod
-    def _cache_put(cache: Dict, key, value) -> None:
-        if len(cache) >= CACHE_LIMIT:
-            cache.pop(next(iter(cache)))
-        cache[key] = value
 
     def levels_of(self, idx: int) -> np.ndarray:
         """Per-column top level of coordinate ``idx`` (cached)."""
@@ -115,7 +123,7 @@ class SamplerRandomness:
             dtype=np.int64,
             count=self.columns,
         )
-        self._cache_put(self._levels_cache, idx, out)
+        self._levels_cache.put(idx, out)
         return out
 
     def levels_of_many(self, idxs: np.ndarray) -> np.ndarray:
@@ -139,7 +147,7 @@ class SamplerRandomness:
         if cached is not None:
             return cached
         value = pow(self.z, idx, MERSENNE_P)
-        self._cache_put(self._zpow_cache, idx, value)
+        self._zpow_cache.put(idx, value)
         return value
 
     def zpow_many(self, idxs: np.ndarray) -> np.ndarray:
@@ -171,6 +179,18 @@ class SamplerRandomness:
     def fingerprint_ok(self, idx: int, w: int, f: int) -> bool:
         """Verify ``F == W * z^idx`` and the level membership of ``idx``."""
         return (w % MERSENNE_P) * self.zpow(idx) % MERSENNE_P == f
+
+    def fingerprint_ok_many(self, idxs: np.ndarray, ws: np.ndarray,
+                            fs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`fingerprint_ok` over candidate arrays.
+
+        ``ws`` may be any int64 values (reduced mod p first, matching
+        the scalar path); ``fs`` are combined fingerprints in
+        ``[0, p)``.  Bit-identical to the scalar check per candidate.
+        """
+        wm = (ws % MERSENNE_P).astype(np.uint64)
+        zp = self.zpow_many(idxs).astype(np.uint64)
+        return mulmod_many(wm, zp).astype(np.int64) == fs
 
 
 def update_grouped(samplers, randomness: SamplerRandomness,
@@ -270,7 +290,7 @@ class L0Sampler:
 
     def merge_from(self, other: "L0Sampler") -> None:
         if other.randomness is not self.randomness:
-            raise ValueError(
+            raise SketchError(
                 "samplers built from different randomness cannot be merged"
             )
         self.matrix.merge_from(other.matrix)
@@ -279,17 +299,25 @@ class L0Sampler:
         return L0Sampler(self.randomness, self.matrix.copy())
 
     @staticmethod
-    def merged(samplers: "list[L0Sampler]") -> "L0Sampler":
-        """A fresh sampler holding the sum of the given samplers."""
+    def merged(samplers: "list[L0Sampler]",
+               scratch: Optional[MergeScratch] = None) -> "L0Sampler":
+        """A fresh sampler holding the sum of the given samplers.
+
+        With ``scratch`` given, the accumulator matrix comes from the
+        scratch pool (valid until the pool's next ``reset``) instead
+        of a per-merge allocation.  Empty input or mixed randomness
+        raises :class:`~repro.errors.SketchError`.
+        """
         if not samplers:
-            raise ValueError("need at least one sampler")
+            raise SketchError("need at least one sampler")
         randomness = samplers[0].randomness
         for sampler in samplers:
             if sampler.randomness is not randomness:
-                raise ValueError("mixed randomness in merge")
+                raise SketchError("mixed randomness in merge")
         return L0Sampler(
             randomness,
-            RecoveryMatrix.sum_of([s.matrix for s in samplers]),
+            RecoveryMatrix.sum_of([s.matrix for s in samplers],
+                                  scratch=scratch),
         )
 
     # ------------------------------------------------------------------
@@ -299,24 +327,148 @@ class L0Sampler:
             col, self.randomness.universe, self.randomness.fingerprint_ok
         )
 
+    def sample_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample_column` over many columns.
+
+        One cumulative sum + decode pass covers every requested column
+        (in the given order, repeats allowed); ``-1`` stands in for
+        ``None``.  Bit-identical to the scalar scan per column.
+        """
+        return self.matrix.recover_many(
+            cols, self.randomness.universe,
+            self.randomness.fingerprint_ok_many,
+        )
+
     def sample(self, start_column: int = 0) -> Optional[int]:
-        """Try every column (starting from ``start_column``) in turn."""
-        for offset in range(self.randomness.columns):
-            col = (start_column + offset) % self.randomness.columns
-            found = self.sample_column(col)
-            if found is not None:
-                return found
-        return None
+        """Try every column (starting from ``start_column``) in turn.
+
+        All columns are decoded in one vectorized pass; the answer is
+        the first succeeding column in rotation order, exactly as the
+        scalar loop would return it.
+        """
+        columns = self.randomness.columns
+        order = (start_column + np.arange(columns, dtype=np.int64)) \
+            % columns
+        found = self.sample_columns(order)
+        hits = np.flatnonzero(found >= 0)
+        if hits.size == 0:
+            return None
+        return int(found[hits[0]])
 
     def is_zero(self) -> bool:
         """True iff the sketched vector is zero (w.h.p.).
 
         Requires every column's level-0 cell to be the zero triple,
-        driving the false-zero probability to ``(N/p)^columns``.
+        driving the false-zero probability to ``(N/p)^columns``.  One
+        level-axis reduction checks all columns at once.
         """
-        return all(
-            self.matrix.column_is_zero(col)
-            for col in range(self.randomness.columns)
+        return bool(self.matrix.column_is_zero_many().all())
+
+    # -- batched queries over many samplers -----------------------------
+    @staticmethod
+    def _stacked_cells(samplers: "list[L0Sampler]") -> np.ndarray:
+        """The ``(k, 4, columns, levels)`` cell stack of many samplers.
+
+        All samplers must share one :class:`SamplerRandomness`;
+        violations raise :class:`~repro.errors.SketchError`.  When
+        every sampler is a view into the same
+        :class:`~repro.sketch.sparse_recovery.RecoveryPool` the stack
+        is a single fancy gather from the pool block -- and the
+        identity gather (all slots in order) is a zero-copy view.  The
+        result is read-only by convention: every batched query only
+        reads it.
+        """
+        if not samplers:
+            raise SketchError("need at least one sampler")
+        randomness = samplers[0].randomness
+        for sampler in samplers:
+            if sampler.randomness is not randomness:
+                raise SketchError("mixed randomness in batched query")
+        pool = samplers[0].matrix._pool
+        if pool is not None and all(s.matrix._pool is pool
+                                    for s in samplers):
+            slots = np.fromiter((s.matrix._pool_slot for s in samplers),
+                                dtype=np.int64, count=len(samplers))
+            if (len(samplers) == pool.count
+                    and np.array_equal(slots,
+                                       np.arange(pool.count,
+                                                 dtype=np.int64))):
+                return pool.cells
+            return pool.cells[slots]
+        return np.stack([s.matrix.cells for s in samplers])
+
+    @staticmethod
+    def query_many(samplers: "list[L0Sampler]",
+                   columns) -> "tuple[np.ndarray, np.ndarray]":
+        """One AGM halving iteration's answers for many samplers.
+
+        Fuses :meth:`is_zero_many` and :meth:`sample_many` over a
+        single cell stack: returns ``(zeros, found)`` where
+        ``zeros[i] == samplers[i].is_zero()`` and ``found[i]`` is
+        ``samplers[i].sample_column(columns[i])`` for the non-zero
+        samplers (``-1`` both for zero sketches and failed recovery).
+        Only the live rows pay for recovery, which is what the
+        halving-iteration consumers need: dead supernodes are detected
+        and skipped inside the same vectorized pass.
+        """
+        cells = L0Sampler._stacked_cells(samplers)
+        k = cells.shape[0]
+        randomness = samplers[0].randomness
+        cols = np.broadcast_to(np.asarray(columns, dtype=np.int64), (k,))
+        sums = cells.sum(axis=-1)                      # (k, 4, columns)
+        zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
+        if zero.any():
+            zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
+        zeros = zero.all(axis=-1)
+        found = np.full(k, -1, dtype=np.int64)
+        live = np.flatnonzero(~zeros)
+        if live.size:
+            block = cells[live, :, cols[live], :]      # (l, 4, levels)
+            prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
+            found[live] = recover_from_prefix(
+                prefix.transpose(1, 0, 2), randomness.universe,
+                randomness.fingerprint_ok_many,
+            )
+        return zeros, found
+
+    @staticmethod
+    def is_zero_many(samplers: "list[L0Sampler]") -> np.ndarray:
+        """Vectorized :meth:`is_zero` over a list of samplers.
+
+        Returns the boolean array with entry ``i`` equal to
+        ``samplers[i].is_zero()`` -- one stacked reduction instead of a
+        Python loop over samplers and columns.
+        """
+        cells = L0Sampler._stacked_cells(samplers)
+        sums = cells.sum(axis=-1)                      # (k, 4, columns)
+        zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
+        if zero.any():
+            zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
+        return zero.all(axis=-1)
+
+    @staticmethod
+    def sample_many(samplers: "list[L0Sampler]",
+                    columns) -> np.ndarray:
+        """Vectorized :meth:`sample_column` across many samplers.
+
+        ``columns`` is one shared column index or a per-sampler array;
+        entry ``i`` of the result equals
+        ``samplers[i].sample_column(columns[i])`` with ``-1`` for
+        ``None``.  The whole batch -- every sampler's chosen column --
+        is prefix-summed and decoded in a single array pass against
+        the shared randomness.
+        """
+        cells = L0Sampler._stacked_cells(samplers)
+        k = cells.shape[0]
+        cols = np.broadcast_to(
+            np.asarray(columns, dtype=np.int64), (k,)
+        )
+        block = cells[np.arange(k), :, cols, :]        # (k, 4, levels)
+        prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
+        randomness = samplers[0].randomness
+        return recover_from_prefix(
+            prefix.transpose(1, 0, 2), randomness.universe,
+            randomness.fingerprint_ok_many,
         )
 
     @property

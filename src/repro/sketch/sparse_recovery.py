@@ -45,16 +45,25 @@ into the flattened block, and a merge is one array addition.  A
 levels)`` block so the family-level bulk router can ingest a batch for
 every vertex at once.
 
+Bulk recovery mirrors bulk ingestion: :func:`recover_from_prefix`
+decodes a whole ``(4, k, levels)`` block of prefix-summed columns with
+array arithmetic (divisibility, range, and limb-combined fingerprint
+tests on every level at once, lowest passing level wins), and
+:meth:`RecoveryMatrix.recover_many` / ``column_is_zero_many`` feed it --
+bit-identical to the scalar scans, minus the per-level Python dispatch.
+:class:`MergeScratch` recycles merge accumulators across query phases.
+
 Magnitudes: ``|W| <= m``, ``|S| <= levels * m * N`` (< 2^59 for every
 configuration we run), limbs as above.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import SketchError
 from repro.sketch.hashing import MERSENNE_P
 
 #: Renormalize the fingerprint limbs once this much absolute update
@@ -124,6 +133,47 @@ def _renormalize_limbs(Flo: np.ndarray, Fhi: np.ndarray) -> None:
 def _suffix_cumsum(arr: np.ndarray) -> np.ndarray:
     """Reverse cumulative sum along the last (level) axis."""
     return np.cumsum(arr[..., ::-1], axis=-1)[..., ::-1]
+
+
+def recover_from_prefix(
+    prefix: np.ndarray,
+    max_index: int,
+    fingerprint_ok_many: Callable[[np.ndarray, np.ndarray, np.ndarray],
+                                  np.ndarray],
+) -> np.ndarray:
+    """Decode many prefix-summed columns at once.
+
+    ``prefix`` is the ``(4, k, levels)`` int64 block of materialized
+    ``(W, S, Flo, Fhi)`` level prefixes for ``k`` independent columns
+    (possibly drawn from different matrices).  For each column the
+    divisibility, range, and fingerprint tests run on every level as
+    array operations, and the answer is the lowest passing level's
+    coordinate -- exactly the scan order of
+    :meth:`RecoveryMatrix.recover`, so the result is bit-identical to
+    the sequential path.  ``fingerprint_ok_many`` receives flat arrays
+    ``(idxs, ws, fingerprints)`` of the candidates that survived the
+    integer tests and returns a boolean mask.
+
+    Returns the int64 array of recovered coordinates, ``-1`` marking
+    columns where every level rejected (the sampler's ``bottom``).
+    """
+    W, S, lo, hi = prefix
+    k = W.shape[0]
+    nonzero = W != 0
+    safe_w = np.where(nonzero, W, 1)
+    # numpy's % and // follow Python's floored-division convention for
+    # signed operands, so these match the scalar ``s % w`` / ``s // w``.
+    divisible = nonzero & (S % safe_w == 0)
+    idx = S // safe_w
+    candidate = divisible & (idx >= 0) & (idx < max_index)
+    ok = np.zeros(candidate.shape, dtype=bool)
+    if candidate.any():
+        fingerprints = _combine_limbs(lo[candidate], hi[candidate])
+        ok[candidate] = fingerprint_ok_many(idx[candidate], W[candidate],
+                                            fingerprints)
+    found = ok.any(axis=1)
+    first = np.argmax(ok, axis=1)
+    return np.where(found, idx[np.arange(k), first], -1)
 
 
 class RecoveryMatrix:
@@ -247,7 +297,10 @@ class RecoveryMatrix:
     def merge_from(self, other: "RecoveryMatrix") -> None:
         """Add another matrix (sketch linearity, Remark 3.2)."""
         if (other.columns, other.levels) != (self.columns, self.levels):
-            raise ValueError("cannot merge matrices of different shapes")
+            raise SketchError(
+                f"cannot merge a {other.columns}x{other.levels} matrix "
+                f"into a {self.columns}x{self.levels} one"
+            )
         self.cells += other.cells
         self._bump_mass(other._mass)
 
@@ -258,17 +311,37 @@ class RecoveryMatrix:
         return dup
 
     @staticmethod
-    def sum_of(matrices: "list[RecoveryMatrix]") -> "RecoveryMatrix":
+    def sum_of(matrices: "list[RecoveryMatrix]",
+               scratch: Optional["MergeScratch"] = None) -> "RecoveryMatrix":
         """Sum many matrices (component merge).
 
-        The fingerprint limbs are renormalized whenever the running
-        mass exceeds the threshold, so the accumulator stays inside
-        int64 regardless of how many matrices are merged.
+        Row/column shapes are validated up front -- mixed shapes raise
+        :class:`~repro.errors.SketchError` instead of surfacing as a
+        numpy broadcast error mid-accumulation.  The fingerprint limbs
+        are renormalized whenever the running mass exceeds the
+        threshold, so the accumulator stays inside int64 regardless of
+        how many matrices are merged.
+
+        With ``scratch`` given, the accumulator is drawn from the
+        scratch pool instead of freshly allocated -- the merge-heavy
+        query phases reuse the same blocks phase after phase (see
+        :class:`MergeScratch` for the lifetime rules).
         """
         if not matrices:
-            raise ValueError("need at least one matrix to sum")
+            raise SketchError("need at least one matrix to sum")
         first = matrices[0]
-        out = RecoveryMatrix(first.columns, first.levels)
+        shape = (first.columns, first.levels)
+        for matrix in matrices:
+            if (matrix.columns, matrix.levels) != shape:
+                raise SketchError(
+                    f"cannot sum matrices of mixed shapes: expected "
+                    f"{shape[0]}x{shape[1]}, got "
+                    f"{matrix.columns}x{matrix.levels}"
+                )
+        if scratch is None:
+            out = RecoveryMatrix(*shape)
+        else:
+            out = scratch.matrix(*shape)
         for matrix in matrices:
             out.merge_from(matrix)
         return out
@@ -312,6 +385,22 @@ class RecoveryMatrix:
         return _combine_limb_scalars(int(sums[_QLO]),
                                      int(sums[_QHI])) == 0
 
+    def column_is_zero_many(
+        self, cols: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`column_is_zero` over many columns at once.
+
+        ``cols`` selects the columns to test (default: all of them, in
+        order).  One level-axis reduction covers every requested
+        column; bit-identical to the scalar test per column.
+        """
+        block = self.cells if cols is None else self.cells[:, cols, :]
+        sums = block.sum(axis=-1)                           # (4, k)
+        zero = (sums[_QW] == 0) & (sums[_QS] == 0)
+        if zero.any():
+            zero &= _combine_limbs(sums[_QLO], sums[_QHI]) == 0
+        return zero
+
     def recover(
         self,
         col: int,
@@ -341,6 +430,28 @@ class RecoveryMatrix:
             if fingerprint_ok(idx, w, fingerprint):
                 return idx
         return None
+
+    def recover_many(
+        self,
+        cols: np.ndarray,
+        max_index: int,
+        fingerprint_ok_many: Callable[
+            [np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Vectorized :meth:`recover` over many columns of this matrix.
+
+        Materializes the requested columns' level prefixes with one
+        cumulative sum and decodes them together (see
+        :func:`recover_from_prefix`).  ``cols`` may repeat and appear
+        in any order; the result's entry ``i`` equals
+        ``self.recover(cols[i], ...)`` with ``-1`` standing in for
+        ``None``.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        if cols.size == 0:
+            return np.empty(0, dtype=np.int64)
+        prefix = _suffix_cumsum(self.cells[:, cols, :])     # (4, k, L)
+        return recover_from_prefix(prefix, max_index, fingerprint_ok_many)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -495,3 +606,53 @@ class RecoveryPool:
     def words(self) -> int:
         """Accounting footprint: three words per cell (see matrix)."""
         return 3 * self.count * self.columns * self.levels
+
+
+class MergeScratch:
+    """Reusable accumulator matrices for merge-heavy query phases.
+
+    The deletion path merges fragment sketches, then merges supernodes
+    pairwise during the AGM halving iterations -- every merge used to
+    allocate a fresh ``(4, columns, levels)`` block that died at the
+    end of the phase.  A scratch pool keeps those blocks alive across
+    phases: :meth:`matrix` hands out a zeroed accumulator (recycled
+    when one of the right shape is free, freshly allocated otherwise),
+    and :meth:`reset` returns every handed-out matrix to the free
+    list.
+
+    Lifetime contract: matrices obtained from :meth:`matrix` are valid
+    until the next :meth:`reset` -- callers reset at the *start* of a
+    phase, when the previous phase's merged sketches are already dead.
+    Matrices of different shapes coexist (the pool is keyed by shape).
+    """
+
+    __slots__ = ("_free", "_used")
+
+    def __init__(self):
+        self._free: Dict[Tuple[int, int], List[RecoveryMatrix]] = {}
+        self._used: List[Tuple[Tuple[int, int], RecoveryMatrix]] = []
+
+    def matrix(self, columns: int, levels: int) -> RecoveryMatrix:
+        """A zeroed standalone accumulator matrix from the pool."""
+        key = (columns, levels)
+        stack = self._free.get(key)
+        if stack:
+            out = stack.pop()
+            out.cells[...] = 0
+            out._f_mass = 0
+        else:
+            out = RecoveryMatrix(columns, levels)
+        self._used.append((key, out))
+        return out
+
+    def reset(self) -> None:
+        """Reclaim every matrix handed out since the last reset."""
+        for key, matrix in self._used:
+            self._free.setdefault(key, []).append(matrix)
+        self._used.clear()
+
+    @property
+    def pooled(self) -> int:
+        """Total matrices currently owned by the pool (free + used)."""
+        return (sum(len(stack) for stack in self._free.values())
+                + len(self._used))

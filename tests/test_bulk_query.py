@@ -1,0 +1,419 @@
+"""Bulk queries must be bit-identical to the sequential path.
+
+The query-side mirror of ``tests/test_bulk_ingestion.py``: every layer
+of the vectorized recovery pipeline -- prefix decoding
+(``recover_from_prefix`` via ``RecoveryMatrix.recover_many``), batched
+zero tests, stacked sampler queries (``sample_many`` / ``is_zero_many``
+/ ``sample_columns``), the vectorized edge decoding, and the
+family-level ``query_bulk`` router -- is checked against its scalar
+counterpart across random update/delete streams.  Also covers the
+query-path papercuts: shape validation in ``sum_of``, LRU hash memos,
+scratch-pooled merges, and the AGM column-cursor no-op fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.connectivity import MPCConnectivity
+from repro.errors import SketchError
+from repro.mpc.config import MPCConfig
+from repro.sketch import (
+    L0Sampler,
+    LRUMemo,
+    MergeScratch,
+    MERSENNE_P,
+    RecoveryMatrix,
+    SamplerRandomness,
+    SketchFamily,
+    decode_index,
+    decode_indices,
+)
+from repro.types import dele, ins
+
+
+def churn_sampler(randomness, seed, count=200, cancel=False):
+    """A sampler fed a random +-1 stream (optionally fully cancelled)."""
+    stream = np.random.default_rng(seed)
+    idxs = stream.integers(0, randomness.universe, count).astype(np.int64)
+    deltas = stream.choice([-1, 1], count).astype(np.int64)
+    sampler = L0Sampler(randomness)
+    sampler.update_many(idxs, deltas)
+    if cancel:
+        sampler.update_many(idxs, -deltas)
+    return sampler
+
+
+class TestRecoverManyEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_recover_many_matches_recover(self, seed, rng):
+        rnd = SamplerRandomness(4000, 6, rng)
+        sampler = churn_sampler(rnd, seed, count=300)
+        cols = np.arange(rnd.columns, dtype=np.int64)
+        got = sampler.matrix.recover_many(cols, 4000,
+                                          rnd.fingerprint_ok_many)
+        expected = [sampler.matrix.recover(c, 4000, rnd.fingerprint_ok)
+                    for c in range(rnd.columns)]
+        assert [None if g < 0 else int(g) for g in got] == expected
+
+    def test_recover_many_repeated_and_reordered_columns(self, rng):
+        rnd = SamplerRandomness(1000, 5, rng)
+        sampler = churn_sampler(rnd, 9, count=120)
+        cols = np.array([3, 0, 3, 1, 4, 4], dtype=np.int64)
+        got = sampler.matrix.recover_many(cols, 1000,
+                                          rnd.fingerprint_ok_many)
+        expected = [sampler.matrix.recover(int(c), 1000,
+                                           rnd.fingerprint_ok)
+                    for c in cols]
+        assert [None if g < 0 else int(g) for g in got] == expected
+
+    def test_recover_many_empty_is_empty(self, rng):
+        rnd = SamplerRandomness(100, 3, rng)
+        matrix = RecoveryMatrix(rnd.columns, rnd.levels)
+        out = matrix.recover_many(np.empty(0, dtype=np.int64), 100,
+                                  rnd.fingerprint_ok_many)
+        assert out.shape == (0,)
+
+    @pytest.mark.parametrize("cancel", [False, True])
+    def test_column_is_zero_many_matches_scalar(self, cancel, rng):
+        rnd = SamplerRandomness(800, 7, rng)
+        sampler = churn_sampler(rnd, 5, count=90, cancel=cancel)
+        got = sampler.matrix.column_is_zero_many()
+        expected = [sampler.matrix.column_is_zero(c)
+                    for c in range(rnd.columns)]
+        assert [bool(g) for g in got] == expected
+        subset = np.array([2, 0, 5], dtype=np.int64)
+        got_subset = sampler.matrix.column_is_zero_many(subset)
+        assert [bool(g) for g in got_subset] == [expected[2], expected[0],
+                                                 expected[5]]
+
+    def test_recovery_after_heavy_churn_renormalization(self, rng):
+        """The vectorized decode agrees after limb renormalization."""
+        from repro.sketch.sparse_recovery import RENORM_MASS
+
+        rnd = SamplerRandomness(300, 4, rng)
+        sampler = L0Sampler(rnd)
+        sampler.matrix._f_mass = RENORM_MASS  # force an early renorm
+        sampler.update(7, 1)
+        cols = np.arange(rnd.columns, dtype=np.int64)
+        got = sampler.matrix.recover_many(cols, 300,
+                                          rnd.fingerprint_ok_many)
+        expected = [sampler.matrix.recover(c, 300, rnd.fingerprint_ok)
+                    for c in range(rnd.columns)]
+        assert [None if g < 0 else int(g) for g in got] == expected
+        assert 7 in [int(g) for g in got if g >= 0]
+
+
+class TestSamplerBatchQueries:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sample_many_matches_sample_column(self, seed, rng):
+        rnd = SamplerRandomness(2500, 6, rng)
+        samplers = [
+            churn_sampler(rnd, seed * 31 + i, count=10 + 13 * i,
+                          cancel=(i % 4 == 0))
+            for i in range(12)
+        ]
+        for col in range(rnd.columns):
+            got = L0Sampler.sample_many(samplers, col)
+            expected = [s.sample_column(col) for s in samplers]
+            assert ([None if g < 0 else int(g) for g in got]
+                    == expected), col
+
+    def test_sample_many_per_sampler_columns(self, rng):
+        rnd = SamplerRandomness(900, 5, rng)
+        samplers = [churn_sampler(rnd, i, count=40) for i in range(5)]
+        cols = np.array([4, 0, 2, 2, 3], dtype=np.int64)
+        got = L0Sampler.sample_many(samplers, cols)
+        expected = [s.sample_column(int(c))
+                    for s, c in zip(samplers, cols)]
+        assert [None if g < 0 else int(g) for g in got] == expected
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_is_zero_many_matches_is_zero(self, seed, rng):
+        rnd = SamplerRandomness(1200, 5, rng)
+        samplers = [
+            churn_sampler(rnd, seed * 17 + i, count=25,
+                          cancel=(i % 2 == 0))
+            for i in range(9)
+        ]
+        got = L0Sampler.is_zero_many(samplers)
+        assert [bool(g) for g in got] == [s.is_zero() for s in samplers]
+
+    def test_sample_columns_matches_loop(self, rng):
+        rnd = SamplerRandomness(1500, 8, rng)
+        sampler = churn_sampler(rnd, 3, count=200)
+        cols = np.array([5, 1, 1, 7, 0, 3], dtype=np.int64)
+        got = sampler.sample_columns(cols)
+        expected = [sampler.sample_column(int(c)) for c in cols]
+        assert [None if g < 0 else int(g) for g in got] == expected
+
+    def test_sample_rotation_matches_manual_scan(self, rng):
+        rnd = SamplerRandomness(600, 6, rng)
+        sampler = churn_sampler(rnd, 21, count=60)
+        for start in range(rnd.columns):
+            reference = None
+            for offset in range(rnd.columns):
+                col = (start + offset) % rnd.columns
+                found = sampler.sample_column(col)
+                if found is not None:
+                    reference = found
+                    break
+            assert sampler.sample(start_column=start) == reference
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_query_many_fuses_zero_and_sample(self, seed, rng):
+        rnd = SamplerRandomness(1800, 6, rng)
+        samplers = [
+            churn_sampler(rnd, seed * 13 + i, count=15 + 9 * i,
+                          cancel=(i % 3 == 0))
+            for i in range(10)
+        ]
+        for col in range(rnd.columns):
+            zeros, found = L0Sampler.query_many(samplers, col)
+            assert [bool(z) for z in zeros] == [s.is_zero()
+                                               for s in samplers]
+            expected = [None if s.is_zero() else s.sample_column(col)
+                        for s in samplers]
+            assert [None if f < 0 else int(f) for f in found] == expected
+
+    def test_stacked_cells_pool_fast_paths(self):
+        """Pool-backed samplers stack without per-sampler copies."""
+        family = SketchFamily(12, columns=4, rng=np.random.default_rng(2))
+        sketches = {v: family.new_vertex_sketch(v) for v in range(12)}
+        family.apply_edges_bulk(np.array([0, 3], dtype=np.int64),
+                                np.array([7, 5], dtype=np.int64),
+                                np.ones(2, dtype=np.int64))
+        everyone = [sketches[v].sampler for v in range(12)]
+        # Identity gather: the stack *is* the pool block (no copy).
+        assert L0Sampler._stacked_cells(everyone) is family.pool.cells
+        subset = [sketches[v].sampler for v in (5, 0, 7)]
+        stacked = L0Sampler._stacked_cells(subset)
+        assert np.array_equal(stacked,
+                              np.stack([s.matrix.cells for s in subset]))
+        # Mixed pool-view / standalone falls back to the generic stack.
+        mixed = [sketches[0].sampler, sketches[3].sampler.copy()]
+        assert np.array_equal(
+            L0Sampler._stacked_cells(mixed),
+            np.stack([s.matrix.cells for s in mixed]),
+        )
+        # Query answers agree across all three stacking strategies.
+        for group in (everyone, subset, mixed):
+            zeros, found = L0Sampler.query_many(group, 1)
+            for s, z, f in zip(group, zeros, found):
+                assert bool(z) == s.is_zero()
+                expect = None if s.is_zero() else s.sample_column(1)
+                assert (None if f < 0 else int(f)) == expect
+
+    def test_batched_queries_reject_empty_and_mixed(self, rng):
+        rnd_a = SamplerRandomness(100, 3, rng)
+        rnd_b = SamplerRandomness(100, 3, rng)
+        with pytest.raises(SketchError):
+            L0Sampler.sample_many([], 0)
+        with pytest.raises(SketchError):
+            L0Sampler.is_zero_many([])
+        with pytest.raises(SketchError):
+            L0Sampler.query_many([], 0)
+        mixed = [L0Sampler(rnd_a), L0Sampler(rnd_b)]
+        with pytest.raises(SketchError):
+            L0Sampler.sample_many(mixed, 0)
+        with pytest.raises(SketchError):
+            L0Sampler.is_zero_many(mixed)
+
+
+class TestDecodeIndicesBulk:
+    def test_decode_indices_matches_scalar(self):
+        for n in (2, 3, 7, 64, 257):
+            total = n * (n - 1) // 2
+            idxs = np.arange(total, dtype=np.int64)
+            us, vs = decode_indices(n, idxs)
+            for idx, u, v in zip(idxs, us, vs):
+                assert decode_index(n, int(idx)) == (int(u), int(v))
+
+    def test_decode_indices_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_indices(10, np.array([45], dtype=np.int64))
+        with pytest.raises(ValueError):
+            decode_indices(10, np.array([-1], dtype=np.int64))
+
+    def test_decode_indices_empty(self):
+        us, vs = decode_indices(10, np.empty(0, dtype=np.int64))
+        assert us.shape == (0,) and vs.shape == (0,)
+
+
+class TestFamilyQueryRouter:
+    def test_query_bulk_matches_scalar_sampling(self):
+        n = 48
+        family = SketchFamily(n, columns=6, rng=np.random.default_rng(7))
+        sketches = {v: family.new_vertex_sketch(v) for v in range(n)}
+        stream = np.random.default_rng(8)
+        edges = set()
+        while len(edges) < 120:
+            u, v = (int(x) for x in stream.integers(0, n, 2))
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        edges = sorted(edges)
+        us = np.array([u for u, _ in edges], dtype=np.int64)
+        vs = np.array([v for _, v in edges], dtype=np.int64)
+        family.apply_edges_bulk(us, vs, np.ones(len(edges),
+                                                dtype=np.int64))
+        samplers = [sketches[v].sampler for v in range(n)]
+        for col in (0, 3, 5):
+            got = family.query_bulk(samplers, col)
+            expected = []
+            for s in samplers:
+                idx = s.sample_column(col)
+                expected.append(None if idx is None
+                                else family.decode(idx))
+            assert got == expected
+        empty = family.cuts_empty_bulk(samplers)
+        assert [bool(z) for z in empty] == [s.is_zero() for s in samplers]
+        # The fused per-iteration router agrees with its two halves.
+        zeros, edges_fused = family.query_iteration_bulk(samplers, 3)
+        assert np.array_equal(zeros, empty)
+        expected_fused = [
+            None if s.is_zero() else
+            (None if (idx := s.sample_column(3)) is None
+             else family.decode(idx))
+            for s in samplers
+        ]
+        assert edges_fused == expected_fused
+
+    def test_merged_sketch_sample_cut_edges(self):
+        from repro.sketch import MergedSketch
+
+        n = 24
+        family = SketchFamily(n, columns=5, rng=np.random.default_rng(4))
+        sketches = {v: family.new_vertex_sketch(v) for v in range(n)}
+        family.apply_edges_bulk(
+            np.array([0, 1, 2, 5], dtype=np.int64),
+            np.array([9, 9, 3, 6], dtype=np.int64),
+            np.ones(4, dtype=np.int64),
+        )
+        merged = MergedSketch.of([sketches[v] for v in (0, 1, 2, 3)])
+        cols = np.arange(family.columns, dtype=np.int64)
+        got = merged.sample_cut_edges(cols)
+        expected = [merged.sample_cut_edge(int(c)) for c in cols]
+        assert got == expected
+
+
+class TestMergeValidationAndScratch:
+    def test_sum_of_mixed_shapes_raises_sketch_error(self):
+        with pytest.raises(SketchError):
+            RecoveryMatrix.sum_of([RecoveryMatrix(2, 3),
+                                   RecoveryMatrix(2, 4)])
+        with pytest.raises(SketchError):
+            RecoveryMatrix.sum_of([RecoveryMatrix(2, 3),
+                                   RecoveryMatrix(3, 3)])
+
+    def test_sum_of_empty_raises_sketch_error(self):
+        with pytest.raises(SketchError):
+            RecoveryMatrix.sum_of([])
+        with pytest.raises(SketchError):
+            L0Sampler.merged([])
+
+    def test_sketch_error_is_value_error(self):
+        # Backwards compatibility: callers catching ValueError still do.
+        assert issubclass(SketchError, ValueError)
+
+    def test_scratch_merge_matches_plain_merge(self, rng):
+        rnd = SamplerRandomness(700, 4, rng)
+        samplers = [churn_sampler(rnd, i, count=30) for i in range(6)]
+        scratch = MergeScratch()
+        pooled = L0Sampler.merged(samplers, scratch=scratch)
+        plain = L0Sampler.merged(samplers)
+        assert np.array_equal(pooled.matrix.cells, plain.matrix.cells)
+        assert pooled.sample() == plain.sample()
+
+    def test_scratch_blocks_are_recycled(self, rng):
+        rnd = SamplerRandomness(400, 3, rng)
+        samplers = [churn_sampler(rnd, i, count=20) for i in range(4)]
+        scratch = MergeScratch()
+        first = L0Sampler.merged(samplers, scratch=scratch)
+        block = first.matrix.cells
+        scratch.reset()
+        second = L0Sampler.merged(samplers[:2], scratch=scratch)
+        # Same physical block, zeroed and refilled -- no new allocation.
+        assert second.matrix.cells is block
+        assert scratch.pooled == 1
+        reference = L0Sampler.merged(samplers[:2])
+        assert np.array_equal(second.matrix.cells, reference.matrix.cells)
+
+
+class TestLRUMemo:
+    def test_hot_key_survives_capacity_churn(self):
+        memo = LRUMemo(4)
+        memo.put("hot", 1)
+        for i in range(100):
+            memo.get("hot")            # refresh as most-recently-used
+            memo.put(i, i)             # churn through capacity
+        assert "hot" in memo
+        assert memo.get("hot") == 1
+        assert len(memo) <= 4
+
+    def test_fifo_would_have_evicted(self):
+        # The regression the LRU switch fixes: under FIFO eviction the
+        # oldest insertion dies regardless of how recently it was hit.
+        memo = LRUMemo(3)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        memo.put("c", 3)
+        assert memo.get("a") == 1      # touch: "a" is now most recent
+        memo.put("d", 4)               # evicts "b" (LRU), not "a"
+        assert "a" in memo and "b" not in memo
+
+    def test_hit_rate_on_repeating_batch(self, rng):
+        """A hot working set re-queried through churn keeps hitting."""
+        rnd = SamplerRandomness(10**7, 2, rng)
+        rnd._zpow_cache = LRUMemo(16)  # small capacity to force churn
+        hot = list(range(8))
+        cold = iter(range(1000, 10**6))
+        for _ in range(50):
+            for idx in hot:
+                rnd.zpow(idx)
+            rnd.zpow(next(cold))       # churn past capacity over time
+        cache = rnd._zpow_cache
+        # First round misses the 8 hot keys; every later round hits.
+        assert cache.hits >= 49 * 8
+        hit_rate = cache.hits / (cache.hits + cache.misses)
+        assert hit_rate > 0.8
+        for idx in hot:
+            assert idx in cache
+
+    def test_memo_values_stay_correct_through_eviction(self, rng):
+        rnd = SamplerRandomness(10**6, 2, rng)
+        rnd._zpow_cache = LRUMemo(4)
+        values = {idx: rnd.zpow(idx) for idx in range(64)}
+        for idx, expected in values.items():
+            assert rnd.zpow(idx) == expected
+            assert rnd.zpow(idx) == pow(rnd.z, idx, MERSENNE_P)
+
+
+class TestAGMCursorAccounting:
+    def test_noop_deletion_phase_keeps_cursor(self):
+        """A deletion phase whose fragments all have empty cuts must
+        not burn a sketch column (the no-op cursor regression)."""
+        config = MPCConfig(n=16, phi=0.5, seed=3)
+        alg = MPCConnectivity(config)
+        alg.apply_batch([ins(0, 1)])
+        assert alg._column_cursor == 0
+        # Deleting the only edge splits {0, 1}; both fragments have
+        # empty cuts, so zero halving iterations run.
+        alg.apply_batch([dele(0, 1)])
+        assert alg.stats["agm_iterations"] == 0
+        assert alg._column_cursor == 0
+        # Repeated no-op phases still do not consume randomness.
+        for _ in range(3):
+            alg.apply_batch([ins(0, 1)])
+            alg.apply_batch([dele(0, 1)])
+        assert alg._column_cursor == 0
+
+    def test_real_replacement_still_advances_cursor(self):
+        config = MPCConfig(n=16, phi=0.5, seed=4)
+        alg = MPCConnectivity(config)
+        # Triangle: deleting one tree edge forces a halving iteration
+        # that recovers the replacement from the surviving cycle edge.
+        alg.apply_batch([ins(0, 1), ins(1, 2), ins(0, 2)])
+        alg.apply_batch([dele(0, 1)])
+        assert alg.connected(0, 1)
+        assert alg.stats["agm_iterations"] >= 1
+        assert alg._column_cursor == alg.stats["agm_iterations"] \
+            % alg.family.columns
