@@ -27,13 +27,21 @@ cut-edge recovery for every supernode -- run
   ``_agm_replacements`` and the static AGM contraction consume),
 
 asserts bit-identical answers, and merges edges-recovered/second into
-the same ``BENCH_ingest.json`` so the trajectory file tracks both
-halves of the pipeline.
+the same ``BENCH_ingest.json``.
+
+Both experiments run at two ``(n, batch)`` points -- (512, 256) and
+(1024, 512) -- per the ROADMAP's trajectory-tracking item; the file
+keeps the n=512 numbers at the top level for continuity and the full
+per-point table under ``"points"``.  Families are pinned to the
+*sequential* execution backend: these experiments measure the
+vectorization win in isolation; the backend comparison is EXP-14
+(``test_exp14_backend_throughput.py``).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -43,10 +51,12 @@ import numpy as np
 from repro.analysis import print_table
 from repro.sketch import SketchFamily
 
-N = 512
-BATCH = 256
-COLUMNS = 18  # max(4, 2*log2(n)) for n = 512, the algorithms' default
-REPS = 7
+#: (n, batch, reps) measurement points; the first is the legacy point
+#: whose keys stay at the top level of BENCH_ingest.json.
+POINTS = [
+    (512, 256, 7),
+    (1024, 512, 5),
+]
 # The measured margin is ~9x on a quiet machine; CI sets the env var
 # to a conservative floor so shared-runner noise cannot fail the build
 # while local/driver runs still enforce the full 5x contract.
@@ -57,11 +67,16 @@ QUERY_SPEEDUP_FLOOR = float(os.environ.get("QUERY_SPEEDUP_FLOOR", "3.0"))
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
 
 
-def _edge_batch():
+def _columns_for(n: int) -> int:
+    """The algorithms' default column count, max(4, ceil(2 log2 n))."""
+    return max(4, math.ceil(2.0 * math.log2(max(2, n))))
+
+
+def _edge_batch(n: int, batch: int):
     rng = np.random.default_rng(2024)
     edges = set()
-    while len(edges) < BATCH:
-        u, v = (int(x) for x in rng.integers(0, N, 2))
+    while len(edges) < batch:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
         if u != v:
             edges.add((min(u, v), max(u, v)))
     edges = sorted(edges)
@@ -70,15 +85,25 @@ def _edge_batch():
     return edges, us, vs
 
 
-def _fresh_family():
-    family = SketchFamily(N, columns=COLUMNS,
-                          rng=np.random.default_rng(42))
-    sketches = {v: family.new_vertex_sketch(v) for v in range(N)}
+def _fresh_family(n: int):
+    family = SketchFamily(n, columns=_columns_for(n),
+                          rng=np.random.default_rng(42),
+                          backend="sequential")
+    sketches = {v: family.new_vertex_sketch(v) for v in range(n)}
     return family, sketches
 
 
-def _time_sequential(edges):
-    family, sketches = _fresh_family()
+def _merge_results(update: dict) -> None:
+    """Read-modify-write the shared trajectory file."""
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload.update(update)
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _time_sequential(n, edges):
+    family, sketches = _fresh_family(n)
     start = time.perf_counter()
     for u, v in edges:
         sketches[u].apply_edge(u, v, +1)
@@ -86,26 +111,26 @@ def _time_sequential(edges):
     return time.perf_counter() - start, family
 
 
-def _time_bulk(us, vs):
-    family, _ = _fresh_family()
+def _time_bulk(n, us, vs):
+    family, _ = _fresh_family(n)
     deltas = np.ones(len(us), dtype=np.int64)
     start = time.perf_counter()
     family.apply_edges_bulk(us, vs, deltas)
     return time.perf_counter() - start, family
 
 
-def test_exp12_ingest_throughput(benchmark):
-    edges, us, vs = _edge_batch()
+def _measure_ingest_point(n: int, batch: int, reps: int) -> dict:
+    edges, us, vs = _edge_batch(n, batch)
 
-    # Warm-up (first-call numpy dispatch), then best-of-REPS each way.
-    _time_sequential(edges)
-    _time_bulk(us, vs)
+    # Warm-up (first-call numpy dispatch), then best-of-reps each way.
+    _time_sequential(n, edges)
+    _time_bulk(n, us, vs)
     seq_time, seq_family = min(
-        (_time_sequential(edges) for _ in range(REPS)),
+        (_time_sequential(n, edges) for _ in range(reps)),
         key=lambda pair: pair[0],
     )
     bulk_time, bulk_family = min(
-        (_time_bulk(us, vs) for _ in range(REPS)),
+        (_time_bulk(n, us, vs) for _ in range(reps)),
         key=lambda pair: pair[0],
     )
 
@@ -113,39 +138,58 @@ def test_exp12_ingest_throughput(benchmark):
     # bit-identical pool state (the tentpole's correctness contract).
     assert np.array_equal(seq_family.pool.cells, bulk_family.pool.cells)
 
-    seq_eps = BATCH / seq_time
-    bulk_eps = BATCH / bulk_time
-    speedup = seq_eps and bulk_eps / seq_eps
-    rows = [{
-        "path": name,
-        "time/batch (ms)": round(secs * 1e3, 3),
-        "edges/sec": round(eps),
-    } for name, secs, eps in (
-        ("per-edge", seq_time, seq_eps),
-        ("bulk", bulk_time, bulk_eps),
-    )]
-    print_table(rows, title=f"EXP-12 ingestion throughput "
-                            f"(n={N}, batch={BATCH}, "
-                            f"speedup {speedup:.1f}x)")
-
-    payload = {
-        "n": N,
-        "batch": BATCH,
-        "columns": COLUMNS,
+    seq_eps = batch / seq_time
+    bulk_eps = batch / bulk_time
+    return {
+        "n": n,
+        "batch": batch,
+        "columns": _columns_for(n),
         "sequential_edges_per_sec": seq_eps,
         "bulk_edges_per_sec": bulk_eps,
-        "speedup": speedup,
-        "reps": REPS,
+        "speedup": bulk_eps / seq_eps,
+        "reps": reps,
+        "_seq_time": seq_time,
+        "_bulk_time": bulk_time,
     }
-    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"bulk ingestion speedup {speedup:.2f}x below the "
-        f"{SPEEDUP_FLOOR}x floor (seq {seq_eps:.0f} e/s, "
-        f"bulk {bulk_eps:.0f} e/s)"
-    )
 
-    benchmark(lambda: _time_bulk(us, vs)[0])
+def test_exp12_ingest_throughput(benchmark):
+    rows = []
+    results = []
+    for n, batch, reps in POINTS:
+        point = _measure_ingest_point(n, batch, reps)
+        results.append(point)
+        for name, secs, eps in (
+            ("per-edge", point["_seq_time"],
+             point["sequential_edges_per_sec"]),
+            ("bulk", point["_bulk_time"], point["bulk_edges_per_sec"]),
+        ):
+            rows.append({
+                "n": n,
+                "batch": batch,
+                "path": name,
+                "time/batch (ms)": round(secs * 1e3, 3),
+                "edges/sec": round(eps),
+            })
+    speedups = ", ".join("%.1fx" % p["speedup"] for p in results)
+    print_table(rows, title=f"EXP-12 ingestion throughput "
+                            f"(speedups: {speedups})")
+
+    points = [{k: v for k, v in p.items() if not k.startswith("_")}
+              for p in results]
+    update = dict(points[0])  # legacy top-level keys: the n=512 point
+    update["points"] = points
+    _merge_results(update)
+
+    for point in points:
+        assert point["speedup"] >= SPEEDUP_FLOOR, (
+            f"bulk ingestion speedup {point['speedup']:.2f}x at "
+            f"n={point['n']} below the {SPEEDUP_FLOOR}x floor"
+        )
+
+    n, batch, _ = POINTS[0]
+    _, us, vs = _edge_batch(n, batch)
+    benchmark(lambda: _time_bulk(n, us, vs)[0])
 
 
 # ---------------------------------------------------------------------------
@@ -155,7 +199,7 @@ def test_exp12_ingest_throughput(benchmark):
 QUERY_COLUMN = 0
 
 
-def _loaded_samplers():
+def _loaded_samplers(n: int, batch: int):
     """A family with the EXP-12 batch ingested; one sampler per vertex.
 
     The per-vertex sketches double as the "supernode" sketches of the
@@ -163,10 +207,10 @@ def _loaded_samplers():
     ``_agm_replacements`` and the static contraction put on the query
     path.
     """
-    _, us, vs = _edge_batch()
-    family, sketches = _fresh_family()
+    _, us, vs = _edge_batch(n, batch)
+    family, sketches = _fresh_family(n)
     family.apply_edges_bulk(us, vs, np.ones(len(us), dtype=np.int64))
-    samplers = [sketches[v].sampler for v in range(N)]
+    samplers = [sketches[v].sampler for v in range(n)]
     return family, samplers
 
 
@@ -196,18 +240,18 @@ def _query_bulk(family, samplers):
     return elapsed, [bool(z) for z in zeros], edges
 
 
-def test_exp13_query_throughput(benchmark):
-    family, samplers = _loaded_samplers()
+def _measure_query_point(n: int, batch: int, reps: int) -> dict:
+    family, samplers = _loaded_samplers(n, batch)
 
-    # Warm-up, then best-of-REPS each way.
+    # Warm-up, then best-of-reps each way.
     _query_sequential(family, samplers)
     _query_bulk(family, samplers)
     seq_time, seq_zeros, seq_edges = min(
-        (_query_sequential(family, samplers) for _ in range(REPS)),
+        (_query_sequential(family, samplers) for _ in range(reps)),
         key=lambda triple: triple[0],
     )
     bulk_time, bulk_zeros, bulk_edges = min(
-        (_query_bulk(family, samplers) for _ in range(REPS)),
+        (_query_bulk(family, samplers) for _ in range(reps)),
         key=lambda triple: triple[0],
     )
 
@@ -218,42 +262,73 @@ def test_exp13_query_throughput(benchmark):
 
     recovered = sum(1 for e in seq_edges if e is not None)
     assert recovered > 0, "workload must actually recover edges"
-    seq_rps = recovered / seq_time
-    bulk_rps = recovered / bulk_time
-    speedup = bulk_rps / seq_rps
-    rows = [{
-        "path": name,
-        "time/iteration (ms)": round(secs * 1e3, 3),
-        "edges recovered/sec": round(rps),
-    } for name, secs, rps in (
-        ("per-supernode", seq_time, seq_rps),
-        ("bulk", bulk_time, bulk_rps),
-    )]
-    print_table(rows, title=f"EXP-13 query throughput "
-                            f"(n={N}, batch={BATCH}, "
-                            f"supernodes={len(samplers)}, "
-                            f"speedup {speedup:.1f}x)")
-
-    # Merge into the shared trajectory file (EXP-12 writes the
-    # ingestion half; keep whatever is already there).
-    payload = {}
-    if _RESULT_PATH.exists():
-        payload = json.loads(_RESULT_PATH.read_text())
-    payload.update({
+    return {
+        "n": n,
+        "batch": batch,
         "query_supernodes": len(samplers),
         "query_column": QUERY_COLUMN,
         "query_edges_recovered": recovered,
-        "query_sequential_recovered_per_sec": seq_rps,
-        "query_bulk_recovered_per_sec": bulk_rps,
-        "query_speedup": speedup,
-        "query_reps": REPS,
-    })
+        "query_sequential_recovered_per_sec": recovered / seq_time,
+        "query_bulk_recovered_per_sec": recovered / bulk_time,
+        "query_speedup": seq_time / bulk_time,
+        "query_reps": reps,
+        "_seq_time": seq_time,
+        "_bulk_time": bulk_time,
+    }
+
+
+def test_exp13_query_throughput(benchmark):
+    rows = []
+    results = []
+    for n, batch, reps in POINTS:
+        point = _measure_query_point(n, batch, reps)
+        results.append((n, batch, point))
+        for name, secs, rps in (
+            ("per-supernode", point["_seq_time"],
+             point["query_sequential_recovered_per_sec"]),
+            ("bulk", point["_bulk_time"],
+             point["query_bulk_recovered_per_sec"]),
+        ):
+            rows.append({
+                "n": n,
+                "batch": batch,
+                "path": name,
+                "time/iteration (ms)": round(secs * 1e3, 3),
+                "edges recovered/sec": round(rps),
+            })
+    speedups = ", ".join("%.1fx" % p["query_speedup"]
+                         for _, _, p in results)
+    print_table(rows, title=f"EXP-13 query throughput "
+                            f"(speedups: {speedups})")
+
+    # Merge into the shared trajectory file: legacy top-level keys from
+    # the n=512 point, per-point numbers folded into the EXP-12 entries
+    # (matched on (n, batch), so a stale or reordered file on disk can
+    # never pair query numbers with the wrong measurement point).
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    points = payload.get("points", [])
+    clean = []
+    for n, batch, point in results:
+        entry = {k: v for k, v in point.items() if not k.startswith("_")}
+        clean.append(entry)
+        match = [p for p in points
+                 if (p.get("n"), p.get("batch")) == (n, batch)]
+        if match:
+            match[0].update(entry)
+        else:
+            points.append(entry)
+    payload.update(clean[0])
+    payload["points"] = points
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
-    assert speedup >= QUERY_SPEEDUP_FLOOR, (
-        f"bulk query speedup {speedup:.2f}x below the "
-        f"{QUERY_SPEEDUP_FLOOR}x floor (seq {seq_rps:.0f} r/s, "
-        f"bulk {bulk_rps:.0f} r/s)"
-    )
+    for n, _, point in results:
+        assert point["query_speedup"] >= QUERY_SPEEDUP_FLOOR, (
+            f"bulk query speedup {point['query_speedup']:.2f}x at n={n} "
+            f"below the {QUERY_SPEEDUP_FLOOR}x floor"
+        )
 
+    n, batch, _ = POINTS[0]
+    family, samplers = _loaded_samplers(n, batch)
     benchmark(lambda: _query_bulk(family, samplers)[0])

@@ -1,0 +1,186 @@
+"""EXP-14: execution-backend throughput, sequential vs shared-memory.
+
+EXP-12/13 measure the vectorization win inside one process; EXP-14
+measures the *execution backend* layer on top of it
+(:mod:`repro.mpc.backend`): the same fused ingestion + query workload
+run on
+
+* the ``sequential`` backend (in-process, the default), and
+* the ``shared_memory`` backend at 2 and 4 worker processes, where the
+  family's :class:`~repro.sketch.sparse_recovery.RecoveryPool` lives in
+  shared memory and vertex rows are sharded across workers.
+
+One rep is a realistic phase-shaped unit of work at n=1024: bulk-ingest
+a 4096-edge batch, answer one AGM halving iteration's fused zero-test +
+cut-edge recovery for every vertex row, then bulk-delete the batch
+(which keeps the pool state identical across reps and backends).  The
+experiment asserts the parallel backend is **bit-identical** to the
+sequential one -- same pool cells, same query answers -- and records
+wall-clock throughput per backend into ``BENCH_ingest.json``.
+
+The speedup gate is core-aware: descriptor shipping cannot beat a
+single CPU, so the acceptance floor (>1.5x combined ingestion+query at
+4 workers, ``BACKEND_SPEEDUP_FLOOR``) arms only when at least 4 CPUs
+are actually available (affinity-aware); below that the numbers are
+recorded, the parity assertions still run, and a sanity floor keeps the
+overhead bounded.  The recorded ``cpus`` field makes every trajectory
+point interpretable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import print_table
+from repro.mpc.backend import (
+    SharedMemoryBackend,
+    available_cpus,
+    get_backend,
+)
+from repro.sketch import SketchFamily
+
+N = 1024
+BATCH = 4096
+COLUMNS = 20  # max(4, 2*log2(n)) for n = 1024, the algorithms' default
+REPS = 5
+WORKER_COUNTS = (2, 4)
+QUERY_COLUMN = 0
+
+#: Floor on the 4-worker combined speedup.  Defaults: the 1.5x
+#: acceptance contract when >= 4 CPUs are available to this process, a
+#: bounded-overhead sanity check (descriptor shipping must stay within
+#: ~3x of sequential) when the host cannot physically run workers in
+#: parallel -- a 1-CPU container measures ~0.5-0.8x.
+_DEFAULT_FLOOR = "1.5" if available_cpus() >= 4 else "0.35"
+SPEEDUP_FLOOR = float(os.environ.get("BACKEND_SPEEDUP_FLOOR",
+                                     _DEFAULT_FLOOR))
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+
+
+def _edge_batch():
+    rng = np.random.default_rng(2026)
+    edges = set()
+    while len(edges) < BATCH:
+        u, v = (int(x) for x in rng.integers(0, N, 2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    edges = sorted(edges)
+    us = np.array([u for u, _ in edges], dtype=np.int64)
+    vs = np.array([v for _, v in edges], dtype=np.int64)
+    return us, vs
+
+
+def _run_backend(backend, us, vs):
+    """Best-of-REPS phase time on one backend, plus final state."""
+    family = SketchFamily(N, columns=COLUMNS,
+                          rng=np.random.default_rng(7), backend=backend)
+    samplers = [family.new_vertex_sketch(v).sampler for v in range(N)]
+    ones = np.ones(len(us), dtype=np.int64)
+
+    def phase():
+        family.apply_edges_bulk(us, vs, ones)
+        answers = family.query_iteration_bulk(samplers, QUERY_COLUMN)
+        family.apply_edges_bulk(us, vs, -ones)
+        return answers
+
+    phase()  # warm-up (numpy dispatch, worker code paths)
+    best = float("inf")
+    answers = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        answers = phase()
+        best = min(best, time.perf_counter() - start)
+
+    # Leave the batch ingested so pool cells can be compared across
+    # backends in a non-trivial state.
+    family.apply_edges_bulk(us, vs, ones)
+    return best, answers, family
+
+
+def test_exp14_backend_throughput(benchmark):
+    us, vs = _edge_batch()
+    cpus = available_cpus()
+
+    seq_time, seq_answers, seq_family = _run_backend(
+        get_backend("sequential"), us, vs
+    )
+    rows = [{
+        "backend": "sequential",
+        "workers": 1,
+        "time/phase (ms)": round(seq_time * 1e3, 3),
+        "edges+queries/sec": round((2 * BATCH + N) / seq_time),
+        "speedup": 1.0,
+    }]
+
+    measured = {}
+    for workers in WORKER_COUNTS:
+        backend = SharedMemoryBackend(num_workers=workers)
+        try:
+            shm_time, shm_answers, shm_family = _run_backend(
+                backend, us, vs
+            )
+            # The acceptance contract: the parallel backend must be
+            # bit-identical to the sequential one -- same pool cells,
+            # same zero tests, same recovered edges.
+            assert np.array_equal(seq_family.pool.cells,
+                                  shm_family.pool.cells)
+            assert np.array_equal(seq_answers[0], shm_answers[0])
+            assert seq_answers[1] == shm_answers[1]
+        finally:
+            backend.close()
+        speedup = seq_time / shm_time
+        measured[str(workers)] = {
+            "time_per_phase_sec": shm_time,
+            "throughput_per_sec": (2 * BATCH + N) / shm_time,
+            "speedup": speedup,
+        }
+        rows.append({
+            "backend": "shared_memory",
+            "workers": workers,
+            "time/phase (ms)": round(shm_time * 1e3, 3),
+            "edges+queries/sec": round((2 * BATCH + N) / shm_time),
+            "speedup": round(speedup, 2),
+        })
+
+    print_table(rows, title=f"EXP-14 backend throughput "
+                            f"(n={N}, batch={BATCH}, cpus={cpus}, "
+                            f"floor {SPEEDUP_FLOOR}x)")
+
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload["exp14_backend"] = {
+        "n": N,
+        "batch": BATCH,
+        "columns": COLUMNS,
+        "reps": REPS,
+        "cpus": cpus,
+        "sequential_time_per_phase_sec": seq_time,
+        "sequential_throughput_per_sec": (2 * BATCH + N) / seq_time,
+        "workers": measured,
+        "speedup_4_workers": measured["4"]["speedup"],
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert measured["4"]["speedup"] >= SPEEDUP_FLOOR, (
+        f"4-worker combined ingestion+query speedup "
+        f"{measured['4']['speedup']:.2f}x below the {SPEEDUP_FLOOR}x "
+        f"floor ({cpus} cpus available)"
+    )
+
+    # Benchmark one sequential ingest+delete round on the warm family
+    # (the full _run_backend would respawn workers per round).
+    ones = np.ones(len(us), dtype=np.int64)
+
+    def one_round():
+        seq_family.apply_edges_bulk(us, vs, -ones)
+        seq_family.apply_edges_bulk(us, vs, ones)
+
+    benchmark(one_round)

@@ -8,6 +8,29 @@ Builds a cluster in the paper's model (local memory n^phi, ~O(n) total
 memory), streams a few batches of edge insertions and deletions, and
 shows the three quantities the paper is about: rounds per batch, total
 memory, and the maintained spanning forest.
+
+Choosing a backend
+------------------
+The simulator always *charges* MPC rounds the same way, but the sketch
+work can execute on two backends (see :mod:`repro.mpc.backend`):
+
+* ``sequential`` (default) -- everything in-process.  The right choice
+  for small graphs and for this quickstart.
+* ``shared_memory`` -- persistent worker processes scatter/query shards
+  of the sketch pools in POSIX shared memory.  Bit-identical results;
+  pays off when batches carry thousands of updates, ``n`` is large, and
+  real cores are available (EXP-14 tracks the crossover).
+
+Select it per run::
+
+    config = MPCConfig(n=4096, backend="shared_memory",
+                       backend_workers=4)
+    alg = MPCConnectivity(config)   # same code, parallel execution
+
+or globally via the environment (how CI runs the whole tier-1 suite on
+the cluster backend)::
+
+    REPRO_BACKEND=shared_memory REPRO_BACKEND_WORKERS=2 python ...
 """
 
 from repro.analysis import connectivity_total_memory_bound, print_table
@@ -49,6 +72,8 @@ def main() -> None:
           f"(~O(n) bound at n={n}: "
           f"{int(connectivity_total_memory_bound(n))})")
     print(f"deletion stats: {alg.stats}")
+    print(f"execution backend: {alg.cluster.backend.describe()} "
+          f"(set REPRO_BACKEND=shared_memory for worker processes)")
 
 
 if __name__ == "__main__":

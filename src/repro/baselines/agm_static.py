@@ -29,12 +29,14 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
 
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
                  columns: Optional[int] = None,
-                 batch_limit: Optional[int] = None):
-        super().__init__(config, cluster=cluster, batch_limit=batch_limit)
+                 batch_limit: Optional[int] = None, backend=None):
+        super().__init__(config, cluster=cluster, batch_limit=batch_limit,
+                         backend=backend)
         if columns is None:
             columns = config.sketch_columns
         self.family = SketchFamily(config.n, columns=columns,
-                                   rng=self.cluster.rng)
+                                   rng=self.cluster.rng,
+                                   backend=self.cluster.backend)
         self.sketches = {v: self.family.new_vertex_sketch(v)
                          for v in range(config.n)}
         self.stats = {"query_iterations": 0, "sketch_failures": 0}

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.errors import BatchTooLargeError, InvalidUpdateError
 from repro.mpc.config import MPCConfig
 from repro.mpc.metrics import PhaseMetrics
@@ -74,6 +76,18 @@ class UpdateValidator:
             self._weights.pop(update.edge, None)
 
 
+def _machine_histogram(batch, partition) -> Dict[int, int]:
+    """Updates per owning machine (edges live with the smaller
+    endpoint's block), vectorized -- the batch sizes a parallel backend
+    targets make a per-update Python loop noticeable."""
+    k = len(batch)
+    lo = np.fromiter((up.u if up.u < up.v else up.v for up in batch),
+                     dtype=np.int64, count=k)
+    counts = np.bincount(partition.machines_of_vertices(lo))
+    return {int(mid): int(count) for mid, count in enumerate(counts)
+            if count}
+
+
 class BatchDynamicAlgorithm:
     """Base class for phase-structured MPC algorithms.
 
@@ -87,9 +101,15 @@ class BatchDynamicAlgorithm:
     name: str = "batch-dynamic"
 
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
-                 batch_limit: Optional[int] = None, track_edges: bool = True):
+                 batch_limit: Optional[int] = None, track_edges: bool = True,
+                 backend=None):
         self.config = config
-        self.cluster = cluster if cluster is not None else Cluster(config)
+        # ``backend`` (name or instance) overrides the config's backend
+        # when this algorithm builds its own cluster; an explicitly
+        # passed cluster keeps its backend.
+        self.cluster = cluster if cluster is not None else Cluster(
+            config, backend=backend
+        )
         self.batch_limit = (batch_limit if batch_limit is not None
                             else config.batch_bound)
         self.validator = UpdateValidator(track=track_edges)
@@ -129,7 +149,15 @@ class BatchDynamicAlgorithm:
             # Route all update requests to a dedicated machine first
             # (Section 1.2: a batch fits in one machine's memory, and
             # moving it there is one aggregation tree, O(1/phi) rounds).
-            self.cluster.charge_gather(len(batch), category="route-updates")
+            # Under a parallel execution backend the shards stay on
+            # their owning machines, so the words are attributed per
+            # machine instead of lumped on the gather root.
+            per_machine = None
+            if self.cluster.backend.parallel:
+                per_machine = _machine_histogram(batch,
+                                                 self.cluster.partition)
+            self.cluster.charge_gather(len(batch), category="route-updates",
+                                       per_machine=per_machine)
         self._process_batch(batch.insertions, batch.deletions)
         self._register_memory()
         self.cluster.metrics.note_memory_peak()

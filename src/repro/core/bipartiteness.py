@@ -35,6 +35,8 @@ class DynamicBipartiteness(BatchDynamicAlgorithm):
             total_memory_factor=config.total_memory_factor,
             strict_capacity=config.strict_capacity,
             seed=config.seed + 1,
+            backend=config.backend,
+            backend_workers=config.backend_workers,
         )
         # The double cover receives two updates per graph update, so its
         # per-phase limit must be twice ours.

@@ -43,13 +43,15 @@ class MPCConnectivity(BatchDynamicAlgorithm):
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
                  columns: Optional[int] = None,
                  batch_limit: Optional[int] = None,
-                 strict: bool = False, track_edges: bool = True):
+                 strict: bool = False, track_edges: bool = True,
+                 backend=None):
         super().__init__(config, cluster=cluster, batch_limit=batch_limit,
-                         track_edges=track_edges)
+                         track_edges=track_edges, backend=backend)
         if columns is None:
             columns = config.sketch_columns
         self.family = SketchFamily(config.n, columns=columns,
-                                   rng=self.cluster.rng)
+                                   rng=self.cluster.rng,
+                                   backend=self.cluster.backend)
         self.sketches = {v: self.family.new_vertex_sketch(v)
                          for v in range(config.n)}
         self.forest = DistributedEulerForest(config.n)

@@ -42,17 +42,24 @@ class StreamingConnectivity:
         though one may exist) raises :class:`SketchFailureError`;
         otherwise the component is conservatively split and the failure
         counted in :attr:`sketch_failures`.
+    backend:
+        Execution backend (name, instance, or ``None`` for the
+        ``REPRO_BACKEND`` environment default) running the bulk sketch
+        work -- see :mod:`repro.mpc.backend`.  Single-update streaming
+        mostly exercises the scalar path; the backend matters for
+        :meth:`preload`'s bulk ingestion.
     """
 
     def __init__(self, n: int, columns: Optional[int] = None, seed: int = 0,
-                 strict: bool = False):
+                 strict: bool = False, backend=None):
         if n < 2:
             raise ValueError("need at least two vertices")
         self.n = n
         rng = np.random.default_rng(seed)
         if columns is None:
             columns = max(4, int(2 * np.log2(n)))
-        self.family = SketchFamily(n, columns=columns, rng=rng)
+        self.family = SketchFamily(n, columns=columns, rng=rng,
+                                   backend=backend)
         self.sketches = {v: self.family.new_vertex_sketch(v)
                          for v in range(n)}
         self.forest = EulerTourForest(n)

@@ -9,6 +9,13 @@ See :mod:`repro.mpc.simulator` for the two-level (real message passing +
 round accounting) design.
 """
 
+from repro.mpc.backend import (
+    ExecutionBackend,
+    SequentialBackend,
+    SharedMemoryBackend,
+    get_backend,
+    resolve_backend,
+)
 from repro.mpc.config import MPCConfig, polylog, small_test_config
 from repro.mpc.machine import Machine, Message
 from repro.mpc.metrics import ClusterMetrics, PhaseMetrics
@@ -23,6 +30,11 @@ from repro.mpc.primitives import (
 from repro.mpc.simulator import Cluster, tree_depth
 
 __all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "SharedMemoryBackend",
+    "get_backend",
+    "resolve_backend",
     "MPCConfig",
     "polylog",
     "small_test_config",

@@ -1,0 +1,745 @@
+"""Execution backends: where the sketch-pool work actually runs.
+
+The cluster simulator *charges* MPC rounds and words, but until now every
+super-step still executed on one Python thread.  This module introduces
+the execution layer underneath the accounting: an :class:`ExecutionBackend`
+turns the family-level bulk operations -- edge-batch ingestion into a
+:class:`~repro.sketch.sparse_recovery.RecoveryPool` and the fused
+zero-test / cut-edge recovery over pool rows -- into *work descriptors*
+(numpy index arrays, never pickled sketches) and decides where they run:
+
+* :class:`SequentialBackend` (the default) runs them in-process, exactly
+  as before.  Zero overhead, zero dependencies, fully deterministic.
+* :class:`SharedMemoryBackend` spawns persistent worker processes, maps
+  each attached pool's cell block into ``multiprocessing.shared_memory``,
+  and shards vertex rows across workers with the same block partition
+  :class:`~repro.mpc.partition.VertexPartition` uses for machines.  A
+  batch is split by owning worker; each worker hashes its shard's
+  coordinates (rebuilt from the family's spawn-safe randomness params)
+  and scatters into its own rows, so no two workers ever write the same
+  cache line and no sketch state ever crosses a pipe.
+
+Choosing a backend
+------------------
+Results are **bit-identical** across backends: the scatter targets
+disjoint rows, integer addition is order-independent, and fingerprint
+renormalization stays in the parent at the same trigger points.  Pick by
+workload, not by correctness:
+
+* ``sequential`` -- always the right default, and the only sensible
+  choice for small ``n`` or tiny batches, where descriptor shipping
+  costs more than the scatter it parallelizes.
+* ``shared_memory`` -- wins wall-clock when batches are large (thousands
+  of entries per phase), ``n`` is large enough that pool scatters and
+  row queries dominate, and real cores are available.  Worker count
+  defaults to ``min(4, cpus)``.
+
+Select it per run with ``MPCConfig(backend="shared_memory",
+backend_workers=4)``, per algorithm with the ``backend=`` knob on
+``MPCConnectivity`` / ``StreamingConnectivity`` / ``AGMStaticConnectivity``
+/ ``SketchFamily``, or globally with the environment variables
+``REPRO_BACKEND`` / ``REPRO_BACKEND_WORKERS`` (how CI runs the tier-1
+suite against the cluster backend).
+
+Failure model: a worker that dies or deadlocks surfaces as
+:class:`~repro.errors.SketchError` on the next backend call (liveness is
+polled while waiting, with a configurable ``REPRO_BACKEND_TIMEOUT``), so
+a crashed shard can never silently corrupt a phase.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import math
+import os
+import time
+import traceback
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SketchError
+from repro.mpc.partition import VertexPartition
+
+#: Environment knobs: backend name and worker count used when a config /
+#: constructor leaves the backend unspecified.
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_WORKERS = "REPRO_BACKEND_WORKERS"
+#: Seconds a single backend call may wait on workers before the call is
+#: declared dead (deadlocked worker -> SketchError instead of a hang).
+ENV_TIMEOUT = "REPRO_BACKEND_TIMEOUT"
+
+SEQUENTIAL = "sequential"
+SHARED_MEMORY = "shared_memory"
+_ALIASES = {
+    "sequential": SEQUENTIAL,
+    "shared_memory": SHARED_MEMORY,  # hyphens normalize to underscores
+    "shm": SHARED_MEMORY,
+}
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def default_worker_count() -> int:
+    """Worker count when unspecified: env override, else ``min(4, cpus)``."""
+    env = os.environ.get(ENV_WORKERS)
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, available_cpus()))
+
+
+@dataclass
+class PoolHandle:
+    """A pool registered with a backend.
+
+    Carries everything a routed call needs: the pool (for parent-side
+    mass bookkeeping and zero-copy sequential reads), the shared
+    randomness (hashing / fingerprint checks), the backend-assigned
+    token, and the row shard map.  ``shards`` uses the same block
+    partition as the machine placement in :mod:`repro.mpc.partition`,
+    so row ownership lines up with the model's vertex placement.
+    """
+
+    pool: "object"
+    randomness: "object"
+    token: int
+    shards: Optional[VertexPartition] = None
+
+    def owners_of(self, slots: np.ndarray) -> np.ndarray:
+        """The owning worker of each slot (the block partition map)."""
+        assert self.shards is not None
+        return self.shards.machines_of_vertices(slots)
+
+
+def _rows_of(pool, slots: np.ndarray) -> np.ndarray:
+    """The ``(k, 4, columns, levels)`` row stack for ``slots``.
+
+    The identity selection (all rows in order) is a zero-copy view,
+    mirroring :meth:`L0Sampler._stacked_cells`.
+    """
+    if (slots.shape[0] == pool.count
+            and np.array_equal(slots,
+                               np.arange(pool.count, dtype=np.int64))):
+        return pool.cells
+    return pool.cells[slots]
+
+
+class ExecutionBackend:
+    """Protocol for executing pool-level sketch work.
+
+    ``attach_pool`` / ``detach_pool`` manage pool placement;
+    ``scatter_edges`` ingests an edge batch into both endpoints'
+    rows; ``query_rows`` / ``sample_rows`` / ``zero_rows`` answer the
+    fused AGM-iteration queries over pool rows.  ``last_split`` is
+    diagnostics: the per-*worker-shard* entry counts of the most recent
+    routed call (tests and experiments read it to see how work fanned
+    out).  Note worker shards are not model machines -- the per-machine
+    metrics attribution lives in the cluster layer, keyed by the
+    machine partition.
+    """
+
+    name: str = "abstract"
+    parallel: bool = False
+    num_workers: int = 1
+
+    def __init__(self) -> None:
+        self.last_split: Dict[int, int] = {}
+
+    # -- pool lifecycle -------------------------------------------------
+    def attach_pool(self, pool, randomness) -> PoolHandle:
+        raise NotImplementedError
+
+    def detach_pool(self, handle: PoolHandle) -> None:
+        raise NotImplementedError
+
+    # -- routed work ----------------------------------------------------
+    def scatter_edges(self, handle: PoolHandle, hi: np.ndarray,
+                      lo: np.ndarray, idxs: np.ndarray,
+                      deltas: np.ndarray) -> None:
+        """Ingest one edge batch: ``+delta`` into row ``hi[i]``,
+        ``-delta`` into row ``lo[i]`` at coordinate ``idxs[i]``."""
+        raise NotImplementedError
+
+    def query_rows(self, handle: PoolHandle, slots: np.ndarray,
+                   cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused per-row zero test + one-column recovery."""
+        raise NotImplementedError
+
+    def sample_rows(self, handle: PoolHandle, slots: np.ndarray,
+                    cols: np.ndarray) -> np.ndarray:
+        """Per-row one-column recovery (no zero test)."""
+        raise NotImplementedError
+
+    def zero_rows(self, handle: PoolHandle,
+                  slots: np.ndarray) -> np.ndarray:
+        """Per-row all-columns zero test."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers / shared segments (no-op when in-process)."""
+
+    @property
+    def usable(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"{self.name}(workers={self.num_workers})"
+
+
+class SequentialBackend(ExecutionBackend):
+    """The in-process backend: today's vectorized code paths, verbatim."""
+
+    name = SEQUENTIAL
+    parallel = False
+    num_workers = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tokens = itertools.count()
+
+    def attach_pool(self, pool, randomness) -> PoolHandle:
+        return PoolHandle(pool=pool, randomness=randomness,
+                          token=next(self._tokens))
+
+    def detach_pool(self, handle: PoolHandle) -> None:
+        pass
+
+    def scatter_edges(self, handle: PoolHandle, hi: np.ndarray,
+                      lo: np.ndarray, idxs: np.ndarray,
+                      deltas: np.ndarray) -> None:
+        randomness = handle.randomness
+        col_levels = randomness.levels_of_many(idxs)
+        zpows = randomness.zpow_many(idxs)
+        slots = np.concatenate([hi, lo])
+        signed = np.concatenate([deltas, -deltas])
+        handle.pool.apply_points(
+            slots,
+            np.concatenate([col_levels, col_levels], axis=0),
+            np.concatenate([idxs, idxs]),
+            signed,
+            np.concatenate([zpows, zpows]),
+        )
+        self.last_split = {0: int(slots.shape[0])}
+
+    def query_rows(self, handle: PoolHandle, slots: np.ndarray,
+                   cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.sketch.l0_sampler import query_cells
+
+        self.last_split = {0: int(slots.shape[0])}
+        return query_cells(_rows_of(handle.pool, slots), cols,
+                           handle.randomness)
+
+    def sample_rows(self, handle: PoolHandle, slots: np.ndarray,
+                    cols: np.ndarray) -> np.ndarray:
+        from repro.sketch.l0_sampler import sample_cells
+
+        self.last_split = {0: int(slots.shape[0])}
+        return sample_cells(_rows_of(handle.pool, slots), cols,
+                            handle.randomness)
+
+    def zero_rows(self, handle: PoolHandle,
+                  slots: np.ndarray) -> np.ndarray:
+        from repro.sketch.l0_sampler import is_zero_cells
+
+        self.last_split = {0: int(slots.shape[0])}
+        return is_zero_cells(_rows_of(handle.pool, slots))
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory worker process
+# ---------------------------------------------------------------------------
+
+def _worker_main(worker_id: int, conn) -> None:
+    """Persistent worker loop: attach pools, scatter, answer queries.
+
+    Runs in a *spawned* process: everything it needs arrives either
+    through the pipe (work descriptors, spawn-safe randomness params) or
+    through the named shared-memory cell blocks.  All heavy math is the
+    same vectorized code the sequential backend runs --
+    :func:`repro.sketch.sparse_recovery.pool_scatter` and the
+    ``*_cells`` query cores -- so results are bit-identical by
+    construction.
+    """
+    # Imports happen in the child; keep them inside so the parent's
+    # module import stays cheap and cycle-free.
+    from multiprocessing import shared_memory
+
+    from repro.sketch.l0_sampler import (
+        is_zero_cells,
+        query_cells,
+        sample_cells,
+    )
+    from repro.sketch.sparse_recovery import pool_scatter
+
+    pools: Dict[int, tuple] = {}
+    while True:
+        try:
+            cmd = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        op = cmd[0]
+        if op == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            if op == "ping":
+                conn.send(("ok", worker_id))
+            elif op == "attach":
+                _, token, shm_name, shape, randomness = cmd
+                # Spawned children share the parent's resource tracker,
+                # so this attach-side register is an idempotent no-op;
+                # the parent alone unlinks (and unregisters) on detach.
+                shm = shared_memory.SharedMemory(name=shm_name)
+                cells = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+                pools[token] = (shm, cells, randomness)
+                conn.send(("ok", None))
+            elif op == "detach":
+                _, token = cmd
+                entry = pools.pop(token, None)
+                if entry is not None:
+                    shm, cells, _ = entry
+                    del cells
+                    try:
+                        shm.close()
+                    except BufferError:  # pragma: no cover
+                        pass
+                conn.send(("ok", None))
+            elif op == "apply":
+                _, token, slots, idxs, deltas = cmd
+                _, cells, randomness = pools[token]
+                col_levels = randomness.levels_of_many(idxs)
+                zpows = randomness.zpow_many(idxs)
+                _, _, columns, levels = cells.shape
+                pool_scatter(cells.reshape(-1), columns, levels, slots,
+                             col_levels, idxs, deltas, zpows)
+                conn.send(("ok", None))
+            elif op == "query":
+                _, token, slots, cols = cmd
+                _, cells, randomness = pools[token]
+                conn.send(("ok", query_cells(cells[slots], cols,
+                                             randomness)))
+            elif op == "sample":
+                _, token, slots, cols = cmd
+                _, cells, randomness = pools[token]
+                conn.send(("ok", sample_cells(cells[slots], cols,
+                                              randomness)))
+            elif op == "is_zero":
+                _, token, slots = cmd
+                _, cells, _ = pools[token]
+                conn.send(("ok", is_zero_cells(cells[slots])))
+            else:
+                raise ValueError(f"unknown backend op {op!r}")
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+class SharedMemoryBackend(ExecutionBackend):
+    """Worker-process backend over shared-memory sketch pools.
+
+    Spawns ``num_workers`` persistent processes up front.  Attached
+    pools live in ``multiprocessing.shared_memory``; vertex rows are
+    sharded across workers by the block partition, and every routed call
+    is a synchronous fan-out/fan-in over small numpy descriptors.  Mass
+    bookkeeping (and fingerprint-limb renormalization) stays in the
+    parent, at exactly the sequential trigger points, so pool cells are
+    bit-identical to :class:`SequentialBackend` after every call.
+    """
+
+    name = SHARED_MEMORY
+    parallel = True
+
+    def __init__(self, num_workers: Optional[int] = None,
+                 call_timeout: Optional[float] = None,
+                 start_timeout: float = 120.0):
+        super().__init__()
+        self.num_workers = (num_workers if num_workers is not None
+                            else default_worker_count())
+        if self.num_workers < 1:
+            raise ConfigurationError("need at least one worker")
+        self.call_timeout = (call_timeout if call_timeout is not None
+                             else float(os.environ.get(ENV_TIMEOUT, "120")))
+        self._tokens = itertools.count()
+        self._handles: Dict[int, "object"] = {}  # token -> SharedMemory
+        self._closed = False
+        self._broken: Optional[str] = None
+        self._in_dispatch = False
+        #: Tokens whose worker-side detach is deferred: pool finalizers
+        #: can fire from GC at any allocation point -- including inside
+        #: an in-flight :meth:`_dispatch` -- and sending on the pipes
+        #: reentrantly would desync the request/ack protocol.  The
+        #: queue drains at the next top-level call.
+        self._pending_detach: List[int] = []
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        self._procs = []
+        self._conns = []
+        for wid in range(self.num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(wid, child_conn),
+                               daemon=True,
+                               name=f"repro-shm-worker-{wid}")
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._conn_ids = {id(c): w for w, c in enumerate(self._conns)}
+        # Handshake: workers are up once they answer a ping (spawned
+        # interpreters import numpy + repro, which takes a moment).
+        self._dispatch([(w, ("ping",)) for w in range(self.num_workers)],
+                       timeout=start_timeout)
+        _ALL_BACKENDS.add(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def usable(self) -> bool:
+        return not self._closed and self._broken is None
+
+    def _ensure_usable(self) -> None:
+        if self._closed:
+            raise SketchError("shared-memory backend is closed")
+        if self._broken is not None:
+            raise SketchError(
+                f"shared-memory backend is broken: {self._broken}"
+            )
+
+    def _check_alive(self, pending) -> None:
+        for wid in pending:
+            proc = self._procs[wid]
+            if not proc.is_alive():
+                self._broken = (f"worker {wid} died "
+                                f"(exit code {proc.exitcode})")
+                raise SketchError(
+                    f"shared-memory worker {wid} died with exit code "
+                    f"{proc.exitcode}; sketch state may be incomplete"
+                )
+
+    def _dispatch(self, jobs: List[tuple],
+                  timeout: Optional[float] = None,
+                  mutating: bool = False) -> Dict[int, object]:
+        """Send ``(worker_id, command)`` jobs, await one ack per job.
+
+        Returns ``{worker_id: payload}``.  A worker-side exception, a
+        dead worker, or a timeout surfaces as
+        :class:`~repro.errors.SketchError`; remaining acks are drained
+        first so the pipe protocol stays in sync after an error.  With
+        ``mutating`` set, a worker-side exception additionally marks
+        the backend broken: the other workers may already have
+        scattered their shards, so the pool state is partial and no
+        further calls may trust it.
+        """
+        self._ensure_usable()
+        if not jobs:
+            return {}
+        from multiprocessing import connection as mpc
+
+        limit = timeout if timeout is not None else self.call_timeout
+        deadline = time.monotonic() + limit
+        self._in_dispatch = True
+        try:
+            pending = set()
+            for wid, cmd in jobs:
+                try:
+                    self._conns[wid].send(cmd)
+                except (BrokenPipeError, OSError):
+                    self._broken = f"worker {wid} died (pipe closed)"
+                    raise SketchError(
+                        f"shared-memory worker {wid} died (exit code "
+                        f"{self._procs[wid].exitcode}); sketch state may "
+                        f"be incomplete"
+                    )
+                pending.add(wid)
+            results: Dict[int, object] = {}
+            error: Optional[str] = None
+            while pending:
+                ready = mpc.wait([self._conns[w] for w in pending],
+                                 timeout=0.25)
+                if not ready:
+                    self._check_alive(pending)
+                    if time.monotonic() > deadline:
+                        self._broken = (f"call timed out; workers "
+                                        f"{sorted(pending)} unresponsive")
+                        raise SketchError(
+                            f"shared-memory backend call timed out after "
+                            f"{limit:.0f}s waiting on workers "
+                            f"{sorted(pending)} (deadlocked worker?)"
+                        )
+                    continue
+                for conn in ready:
+                    wid = self._conn_ids[id(conn)]
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        self._broken = f"worker {wid} hung up mid-call"
+                        raise SketchError(
+                            f"shared-memory worker {wid} died mid-call"
+                        )
+                    pending.discard(wid)
+                    if status == "error":
+                        error = error or f"worker {wid} failed:\n{payload}"
+                    else:
+                        results[wid] = payload
+            if error is not None:
+                if mutating:
+                    self._broken = ("worker exception during a scatter "
+                                    "left the pool partially updated")
+                raise SketchError(error)
+            return results
+        finally:
+            self._in_dispatch = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def attach_pool(self, pool, randomness) -> PoolHandle:
+        """Move ``pool`` into shared memory and register it everywhere.
+
+        Must be called before the pool hands out row views (the
+        :class:`~repro.sketch.graph_sketch.SketchFamily` constructor
+        guarantees this ordering); existing cell contents are preserved.
+        """
+        self._ensure_usable()
+        self._flush_detaches()
+        from multiprocessing import shared_memory
+
+        token = next(self._tokens)
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=pool.cells.nbytes)
+        cells = np.ndarray(pool.cells.shape, dtype=np.int64,
+                           buffer=shm.buf)
+        pool.adopt_buffer(cells)
+        self._handles[token] = shm
+        try:
+            self._dispatch([
+                (w, ("attach", token, shm.name, pool.cells.shape,
+                     randomness))
+                for w in range(self.num_workers)
+            ])
+        except SketchError:
+            self._release_token(token)
+            raise
+        return PoolHandle(
+            pool=pool, randomness=randomness, token=token,
+            shards=VertexPartition(pool.count, self.num_workers),
+        )
+
+    def detach_pool(self, handle: PoolHandle) -> None:
+        self.release_token(handle.token)
+
+    def release_token(self, token: int) -> None:
+        """Detach a pool by token (safe after close / worker death).
+
+        The parent's shared-memory segment is released immediately (a
+        pure-filesystem operation); the worker-side detach commands are
+        *deferred* to the next top-level backend call, because this is
+        typically invoked by a pool finalizer -- which the GC may run
+        at any allocation point, including inside an in-flight
+        :meth:`_dispatch`, where touching the pipes would desync the
+        request/ack protocol.  Workers keep a stale (unlinked) mapping
+        until the flush; the memory dies once they drop it.
+        """
+        if token not in self._handles:
+            return
+        self._release_token(token)
+        if self.usable:
+            self._pending_detach.append(token)
+
+    def _flush_detaches(self) -> None:
+        """Send deferred worker-side detaches (top-level calls only)."""
+        if not self._pending_detach or self._in_dispatch or not self.usable:
+            return
+        tokens, self._pending_detach = self._pending_detach, []
+        for token in tokens:
+            # One dispatch per token: _dispatch keys acks by worker id,
+            # so a call may carry at most one command per worker.
+            try:
+                self._dispatch([(w, ("detach", token))
+                                for w in range(self.num_workers)])
+            except SketchError:
+                return
+
+    def _release_token(self, token: int) -> None:
+        shm = self._handles.pop(token, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            # A live ndarray still maps the segment (e.g. the pool is
+            # being collected together with its views); unlinking alone
+            # is enough -- the mapping dies with the arrays.
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    # Routed work
+    # ------------------------------------------------------------------
+    def _sharded_jobs(self, handle: PoolHandle, slots: np.ndarray,
+                      payloads: List[np.ndarray],
+                      op: str) -> Tuple[List[tuple], Dict[int, np.ndarray]]:
+        """Split entry arrays by owning worker; returns (jobs, masks)."""
+        owners = handle.owners_of(slots)
+        jobs: List[tuple] = []
+        masks: Dict[int, np.ndarray] = {}
+        split: Dict[int, int] = {}
+        for wid in range(self.num_workers):
+            mask = np.flatnonzero(owners == wid)
+            if mask.size == 0:
+                continue
+            masks[wid] = mask
+            split[wid] = int(mask.size)
+            jobs.append((wid, (op, handle.token, slots[mask],
+                               *[p[mask] for p in payloads])))
+        self.last_split = split
+        return jobs, masks
+
+    def scatter_edges(self, handle: PoolHandle, hi: np.ndarray,
+                      lo: np.ndarray, idxs: np.ndarray,
+                      deltas: np.ndarray) -> None:
+        self._flush_detaches()
+        slots = np.concatenate([hi, lo])
+        all_idxs = np.concatenate([idxs, idxs])
+        signed = np.concatenate([deltas, -deltas])
+        jobs, _ = self._sharded_jobs(handle, slots, [all_idxs, signed],
+                                     "apply")
+        self._dispatch(jobs, mutating=True)
+        # Mass bookkeeping -- and any due renormalization -- happens in
+        # the parent after the barrier, the same point in the update
+        # order as the sequential path's apply_points.
+        handle.pool.record_mass(slots, signed)
+
+    def query_rows(self, handle: PoolHandle, slots: np.ndarray,
+                   cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        self._flush_detaches()
+        jobs, masks = self._sharded_jobs(handle, slots, [cols], "query")
+        results = self._dispatch(jobs)
+        zeros = np.zeros(slots.shape[0], dtype=bool)
+        found = np.full(slots.shape[0], -1, dtype=np.int64)
+        for wid, payload in results.items():
+            z, f = payload
+            zeros[masks[wid]] = z
+            found[masks[wid]] = f
+        return zeros, found
+
+    def sample_rows(self, handle: PoolHandle, slots: np.ndarray,
+                    cols: np.ndarray) -> np.ndarray:
+        self._flush_detaches()
+        jobs, masks = self._sharded_jobs(handle, slots, [cols], "sample")
+        results = self._dispatch(jobs)
+        found = np.full(slots.shape[0], -1, dtype=np.int64)
+        for wid, payload in results.items():
+            found[masks[wid]] = payload
+        return found
+
+    def zero_rows(self, handle: PoolHandle,
+                  slots: np.ndarray) -> np.ndarray:
+        self._flush_detaches()
+        jobs, masks = self._sharded_jobs(handle, slots, [], "is_zero")
+        results = self._dispatch(jobs)
+        zeros = np.zeros(slots.shape[0], dtype=bool)
+        for wid, payload in results.items():
+            zeros[masks[wid]] = payload
+        return zeros
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pending_detach.clear()
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for token in list(self._handles):
+            self._release_token(token)
+
+    def describe(self) -> str:
+        return (f"{self.name}(workers={self.num_workers}, "
+                f"pools={len(self._handles)})")
+
+
+# ---------------------------------------------------------------------------
+# Factory / registry
+# ---------------------------------------------------------------------------
+
+_SEQUENTIAL_SINGLETON = SequentialBackend()
+_SHARED_CACHE: Dict[int, SharedMemoryBackend] = {}
+_ALL_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def normalize_backend_name(name: str) -> str:
+    """Canonical backend name; raises ConfigurationError if unknown."""
+    key = name.strip().lower().replace("-", "_")
+    key = _ALIASES.get(key)
+    if key is None:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; expected one of "
+            f"{sorted(set(_ALIASES))}"
+        )
+    return key
+
+
+def get_backend(name: Optional[str] = None,
+                workers: Optional[int] = None) -> ExecutionBackend:
+    """The process-wide backend for ``name`` (env default: sequential).
+
+    Shared-memory backends are cached per worker count so every cluster,
+    family, and test in a process shares one worker fleet instead of
+    spawning its own.
+    """
+    if name is None:
+        name = os.environ.get(ENV_BACKEND) or SEQUENTIAL
+    name = normalize_backend_name(name)
+    if name == SEQUENTIAL:
+        return _SEQUENTIAL_SINGLETON
+    count = workers if workers is not None else default_worker_count()
+    backend = _SHARED_CACHE.get(count)
+    if backend is None or not backend.usable:
+        backend = SharedMemoryBackend(num_workers=count)
+        _SHARED_CACHE[count] = backend
+    return backend
+
+
+def resolve_backend(spec=None,
+                    workers: Optional[int] = None) -> ExecutionBackend:
+    """Coerce a backend spec (None / name / instance) to a backend."""
+    if spec is None or isinstance(spec, str):
+        return get_backend(spec, workers)
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    raise ConfigurationError(
+        f"backend must be a name or an ExecutionBackend, got {spec!r}"
+    )
+
+
+@atexit.register
+def _shutdown_backends() -> None:  # pragma: no cover - exit path
+    for backend in list(_ALL_BACKENDS):
+        try:
+            backend.close()
+        except Exception:
+            pass

@@ -61,6 +61,16 @@ class MPCConfig:
         Master seed for all randomness (sketches, hashing, sampling).
     num_machines:
         Override for the derived machine count.
+    backend:
+        Execution backend for the sketch-pool work:  ``"sequential"``
+        (in-process, the default) or ``"shared_memory"`` (persistent
+        worker processes over shared-memory pools; bit-identical
+        results, real wall-clock parallelism).  ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, falling back to
+        sequential.  See :mod:`repro.mpc.backend`.
+    backend_workers:
+        Worker-process count for parallel backends; ``None`` defers to
+        ``REPRO_BACKEND_WORKERS``, falling back to ``min(4, cpus)``.
     """
 
     n: int
@@ -70,6 +80,8 @@ class MPCConfig:
     strict_capacity: bool = False
     seed: int = 0
     num_machines: Optional[int] = None
+    backend: Optional[str] = None
+    backend_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -82,6 +94,12 @@ class MPCConfig:
             raise ConfigurationError("memory factors must be positive")
         if self.num_machines is not None and self.num_machines < 1:
             raise ConfigurationError("num_machines must be >= 1")
+        if self.backend is not None:
+            from repro.mpc.backend import normalize_backend_name
+
+            normalize_backend_name(self.backend)  # raises if unknown
+        if self.backend_workers is not None and self.backend_workers < 1:
+            raise ConfigurationError("backend_workers must be >= 1")
 
     # ------------------------------------------------------------------
     # Derived model quantities

@@ -36,6 +36,12 @@ class PhaseMetrics:
     peak_total_memory: int
     rounds_by_category: Dict[str, int]
     capacity_violations: int
+    #: Words of per-shard work attributed to each machine id during the
+    #: phase.  Populated when work is genuinely distributed -- real
+    #: message deliveries, and batch routing under a parallel execution
+    #: backend -- so the ledger shows where work landed instead of
+    #: lumping everything on machine 0.
+    words_by_machine: Dict[int, int] = field(default_factory=dict)
 
     def row(self) -> Dict[str, object]:
         """Flatten into a dict suitable for table rendering."""
@@ -77,6 +83,7 @@ class ClusterMetrics:
         self.rounds_by_category: Dict[str, int] = {}
         self.messages: int = 0
         self.words_sent: int = 0
+        self.words_by_machine: Dict[int, int] = {}
         self.violations: List[CapacityViolation] = []
         self._memory: Dict[str, int] = {}
         self.peak_total_memory: int = 0
@@ -99,6 +106,19 @@ class ClusterMetrics:
     def charge_traffic(self, messages: int, words: int) -> None:
         self.messages += messages
         self.words_sent += words
+
+    def charge_machine_words(self, machine_id: int, words: int) -> None:
+        """Attribute ``words`` of delivered/processed data to a machine.
+
+        Fed by real message deliveries (:meth:`Cluster.exchange`) and by
+        per-shard batch routing when the execution backend runs shards
+        in parallel on their owning machines.
+        """
+        if words < 0:
+            raise ValueError("machine words must be non-negative")
+        self.words_by_machine[machine_id] = (
+            self.words_by_machine.get(machine_id, 0) + words
+        )
 
     def record_violation(self, violation: CapacityViolation) -> None:
         self.violations.append(violation)
@@ -145,6 +165,7 @@ class ClusterMetrics:
             "words_sent": self.words_sent,
             "violations": len(self.violations),
             "by_cat": dict(self.rounds_by_category),
+            "by_machine": dict(self.words_by_machine),
             "peak": self.total_memory,
         }
         # Peak within the phase starts from the current footprint.
@@ -165,6 +186,11 @@ class ClusterMetrics:
             for cat, count in self.rounds_by_category.items()
             if count - start["by_cat"].get(cat, 0) > 0  # type: ignore[union-attr]
         }
+        by_machine_delta = {
+            mid: words - start["by_machine"].get(mid, 0)  # type: ignore[union-attr]
+            for mid, words in self.words_by_machine.items()
+            if words - start["by_machine"].get(mid, 0) > 0  # type: ignore[union-attr]
+        }
         snapshot = PhaseMetrics(
             label=self._phase_label,
             batch_size=batch_size,
@@ -174,6 +200,7 @@ class ClusterMetrics:
             peak_total_memory=max(self._phase_peak, self.total_memory),
             rounds_by_category=by_cat_delta,
             capacity_violations=len(self.violations) - start["violations"],  # type: ignore[operator]
+            words_by_machine=by_machine_delta,
         )
         self._phase_label = None
         self._phase_start = {}

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Tuple
 
+import numpy as np
+
 from repro.types import Edge
 
 
@@ -31,6 +33,15 @@ class VertexPartition:
         if not 0 <= v < self.n:
             raise ValueError(f"vertex {v} out of range [0, {self.n})")
         return min(self.num_machines - 1, v // self.block_size)
+
+    def machines_of_vertices(self, vs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`machine_of_vertex` (no range check).
+
+        The execution backend's row sharding and the per-machine batch
+        attribution both use this, so they can never drift from the
+        scalar placement.
+        """
+        return np.minimum(vs // self.block_size, self.num_machines - 1)
 
     def machine_of_edge(self, edge: Edge) -> int:
         """Edges live with their smaller endpoint's block."""

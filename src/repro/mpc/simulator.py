@@ -33,9 +33,11 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.errors import CapacityExceededError
+from repro.mpc.backend import ExecutionBackend, resolve_backend
 from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine, Message
 from repro.mpc.metrics import CapacityViolation, ClusterMetrics, PhaseMetrics
+from repro.mpc.partition import VertexPartition
 
 
 def tree_depth(num_nodes: int, fanout: int) -> int:
@@ -60,15 +62,26 @@ class Cluster:
     config:
         The model instantiation (machine memory ``s``, machine count,
         strictness, master seed).
+    backend:
+        Execution backend override (name or instance); defaults to the
+        config's ``backend`` field, which itself defaults to the
+        ``REPRO_BACKEND`` environment variable / sequential.  The
+        backend decides where sketch-pool work *executes*; the round
+        and word accounting is identical either way.
     """
 
-    def __init__(self, config: MPCConfig):
+    def __init__(self, config: MPCConfig, backend=None):
         self.config = config
         self.machines: List[Machine] = [
             Machine(i, config.local_memory) for i in range(config.machine_count)
         ]
         self.metrics = ClusterMetrics()
         self.rng = np.random.default_rng(config.seed)
+        self.backend: ExecutionBackend = resolve_backend(
+            backend if backend is not None else config.backend,
+            config.backend_workers,
+        )
+        self._partition: Optional[VertexPartition] = None
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -83,6 +96,14 @@ class Cluster:
 
     def machine(self, machine_id: int) -> Machine:
         return self.machines[machine_id]
+
+    @property
+    def partition(self) -> VertexPartition:
+        """The vertex -> machine block placement (Section 5)."""
+        if self._partition is None:
+            self._partition = VertexPartition(self.config.n,
+                                              self.num_machines)
+        return self._partition
 
     # ------------------------------------------------------------------
     # Real synchronous message passing (used by the primitives)
@@ -115,6 +136,9 @@ class Cluster:
         for mid, used in sent_words.items():
             self._check_budget(mid, used, "send")
         for mid, used in recv_words.items():
+            # Delivered words are attributed to the receiving machine,
+            # so PhaseMetrics shows where the data actually landed.
+            self.metrics.charge_machine_words(mid, used)
             self._check_budget(mid, used, "recv")
         return inboxes
 
@@ -183,15 +207,28 @@ class Cluster:
         )
         return rounds
 
-    def charge_gather(self, total_words: int, category: str = "gather") -> int:
+    def charge_gather(self, total_words: int, category: str = "gather",
+                      per_machine: Optional[Dict[int, int]] = None) -> int:
         """Collect ``total_words`` of data onto a single machine.
 
         Valid only when the result fits in local memory; the paper uses
         this to move a batch of updates (or the auxiliary graph H) onto
         one machine.  The data travels up the aggregation tree, so the
         round cost is the tree depth.
+
+        With ``per_machine`` given (machine id -> words), the data is
+        *not* lumped onto machine 0: a parallel execution backend keeps
+        each shard's work on its owning machine, so the budget check
+        and the metrics attribution apply per machine.  The round and
+        traffic charges are unchanged -- the model cost of the routing
+        step does not depend on where the shards execute.
         """
-        if total_words > self.local_memory:
+        if per_machine:
+            for mid, words in per_machine.items():
+                self.metrics.charge_machine_words(mid, words)
+                if words > self.local_memory:
+                    self._check_budget(mid, words, "recv")
+        elif total_words > self.local_memory:
             self._check_budget(0, total_words, "recv")
         rounds = max(1, tree_depth(self.num_machines, self.config.fanout(1)))
         self.metrics.charge_rounds(rounds, category)
@@ -233,5 +270,5 @@ class Cluster:
     def __repr__(self) -> str:
         return (
             f"Cluster({self.num_machines} machines x {self.local_memory} words, "
-            f"rounds={self.metrics.rounds})"
+            f"rounds={self.metrics.rounds}, backend={self.backend.name})"
         )

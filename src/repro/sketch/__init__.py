@@ -55,13 +55,17 @@ from repro.sketch.l0_sampler import (
     CACHE_LIMIT,
     L0Sampler,
     SamplerRandomness,
+    is_zero_cells,
     levels_for_universe,
+    query_cells,
+    sample_cells,
 )
 from repro.sketch.sparse_recovery import (
     RENORM_MASS,
     MergeScratch,
     RecoveryMatrix,
     RecoveryPool,
+    pool_scatter,
     recover_from_prefix,
 )
 
@@ -90,10 +94,14 @@ __all__ = [
     "CACHE_LIMIT",
     "L0Sampler",
     "SamplerRandomness",
+    "is_zero_cells",
     "levels_for_universe",
+    "query_cells",
+    "sample_cells",
     "RENORM_MASS",
     "MergeScratch",
     "RecoveryMatrix",
     "RecoveryPool",
+    "pool_scatter",
     "recover_from_prefix",
 ]

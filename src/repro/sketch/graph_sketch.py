@@ -32,10 +32,23 @@ the AGM halving), :meth:`SketchFamily.cuts_empty_bulk` batches the
 zero tests, and :meth:`MergedSketch.sample_cut_edges` decodes a whole
 column scan of one merged sketch at once.  All are bit-identical to
 their scalar counterparts.
+
+Execution backends
+------------------
+Where the bulk work *runs* is the execution backend's decision
+(:mod:`repro.mpc.backend`): the family registers its pool with the
+backend at construction, :meth:`SketchFamily.apply_edges_bulk` hands
+the backend per-edge descriptors, and the bulk query routers detect
+when every queried sampler is a pool row and route those through the
+backend too (standalone merged sketches are answered in-process).  On
+the default :class:`~repro.mpc.backend.SequentialBackend` this is the
+old in-process path verbatim; on the shared-memory cluster backend the
+same descriptors fan out to worker processes, bit-identically.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -68,14 +81,29 @@ class SketchFamily:
     array scatters.
     """
 
-    def __init__(self, n: int, columns: int, rng: np.random.Generator):
+    def __init__(self, n: int, columns: int, rng: np.random.Generator,
+                 backend=None):
         if n < 2:
             raise ValueError("need at least two vertices")
+        # Lazy import: repro.mpc.backend imports the sketch layer for
+        # its worker-side math, so the dependency must not be circular
+        # at module level.
+        from repro.mpc.backend import resolve_backend
+
         self.n = n
         self.columns = columns
         self.universe = num_pairs(n)
         self.randomness = SamplerRandomness(self.universe, columns, rng)
+        self.backend = resolve_backend(backend)
         self.pool = RecoveryPool(n, columns, self.randomness.levels)
+        # Attach before any vertex sketch views exist (adopt_buffer may
+        # move the cell block into shared memory); detach when the
+        # family goes away so worker mappings and segments are released.
+        self._pool_handle = self.backend.attach_pool(self.pool,
+                                                     self.randomness)
+        self._detach = weakref.finalize(
+            self, self.backend.detach_pool, self._pool_handle
+        )
 
     @property
     def levels(self) -> int:
@@ -117,16 +145,32 @@ class SketchFamily:
         decoding ``samplers[i].sample_column(column[i])``, with
         ``None`` where recovery rejected.  This is the query-side twin
         of :meth:`apply_edges_bulk`.
+
+        When every sampler is a row of this family's pool (the
+        per-vertex sketches), the query routes through the execution
+        backend -- sharded across worker processes on the cluster
+        backend; standalone merged sketches are answered in-process.
         """
-        return self.decode_many(L0Sampler.sample_many(samplers, column))
+        slots = self._pool_slots(samplers)
+        if slots is None:
+            return self.decode_many(L0Sampler.sample_many(samplers,
+                                                          column))
+        cols = self._broadcast_columns(column, slots.shape[0])
+        return self.decode_many(
+            self.backend.sample_rows(self._pool_handle, slots, cols)
+        )
 
     def cuts_empty_bulk(self, samplers: "list[L0Sampler]") -> np.ndarray:
         """Vectorized ``is_zero`` across many merged sketches.
 
         Boolean array: entry ``i`` is True iff ``samplers[i]`` sketches
         the zero vector, i.e. its vertex set has an empty cut (w.h.p.).
+        Pool-row sampler lists route through the execution backend.
         """
-        return L0Sampler.is_zero_many(samplers)
+        slots = self._pool_slots(samplers)
+        if slots is None:
+            return L0Sampler.is_zero_many(samplers)
+        return self.backend.zero_rows(self._pool_handle, slots)
 
     def query_iteration_bulk(
         self, samplers: "list[L0Sampler]", column
@@ -139,9 +183,41 @@ class SketchFamily:
         -cut test and ``edges[i]`` its decoded sample from ``column``
         (``None`` for empty cuts and failed recovery).  The one-call
         shape both AGM contraction drivers consume per iteration.
+        Pool-row sampler lists route through the execution backend.
         """
-        zeros, found = L0Sampler.query_many(samplers, column)
+        slots = self._pool_slots(samplers)
+        if slots is None:
+            zeros, found = L0Sampler.query_many(samplers, column)
+        else:
+            cols = self._broadcast_columns(column, slots.shape[0])
+            zeros, found = self.backend.query_rows(self._pool_handle,
+                                                   slots, cols)
         return zeros, self.decode_many(found)
+
+    # -- backend routing helpers ----------------------------------------
+    def _pool_slots(self, samplers: "list[L0Sampler]"
+                    ) -> Optional[np.ndarray]:
+        """Slot array when *every* sampler is a row of this family's
+        pool; ``None`` otherwise (standalone/merged sketches answer
+        in-process).  Empty lists return ``None`` so the L0Sampler
+        statics keep raising their usual error."""
+        if not samplers:
+            return None
+        pool = self.pool
+        slots = np.empty(len(samplers), dtype=np.int64)
+        for i, sampler in enumerate(samplers):
+            matrix = sampler.matrix
+            if matrix._pool is not pool:
+                return None
+            slots[i] = matrix._pool_slot
+        return slots
+
+    @staticmethod
+    def _broadcast_columns(column, k: int) -> np.ndarray:
+        """One shared column index or per-sampler array -> ``(k,)``."""
+        return np.ascontiguousarray(
+            np.broadcast_to(np.asarray(column, dtype=np.int64), (k,))
+        )
 
     def new_vertex_sketch(self, vertex: int) -> "VertexSketch":
         """The sketch stack of ``vertex``, backed by the family pool.
@@ -176,20 +252,15 @@ class SketchFamily:
         if k == 0:
             return
         idxs = encode_edges(self.n, us, vs)
-        randomness = self.randomness
-        col_levels = randomness.levels_of_many(idxs)
-        zpows = randomness.zpow_many(idxs)
         hi = np.maximum(us, vs)
         lo = np.minimum(us, vs)
         # One entry per (edge, endpoint): the larger endpoint sees
-        # +delta, the smaller -delta (edge_sign convention).
-        slots = np.concatenate([hi, lo])
-        signed = np.concatenate([deltas, -deltas])
-        doubled_levels = np.concatenate([col_levels, col_levels], axis=0)
-        doubled_idxs = np.concatenate([idxs, idxs])
-        doubled_zpows = np.concatenate([zpows, zpows])
-        self.pool.apply_points(slots, doubled_levels, doubled_idxs,
-                               signed, doubled_zpows)
+        # +delta, the smaller -delta (edge_sign convention).  The
+        # backend hashes the coordinates and scatters -- in-process on
+        # the sequential backend, sharded by row owner on the cluster
+        # backend.
+        self.backend.scatter_edges(self._pool_handle, hi, lo, idxs,
+                                   deltas)
 
     def apply_updates_bulk(self, updates, delta: Optional[int] = None
                            ) -> None:

@@ -185,6 +185,32 @@ class KWiseHash:
         self.coeffs = coeffs
         self._coeff_column = np.array(coeffs, dtype=np.uint64)[:, None]
 
+    @classmethod
+    def from_params(cls, range_size: int,
+                    coeffs: Sequence[int]) -> "KWiseHash":
+        """Rebuild a hash function from its parameters alone.
+
+        The spawn-safe constructor: no ``rng`` is consumed, so a worker
+        process given ``(range_size, coeffs)`` reconstructs *exactly*
+        the parent's function (same field polynomial, same range
+        reduction).  ``cls`` is preserved, so pickling a
+        :class:`PairwiseHash` round-trips to a :class:`PairwiseHash`.
+        """
+        if range_size < 1:
+            raise ValueError("range_size must be >= 1")
+        if len(coeffs) < 1:
+            raise ValueError("need at least one coefficient")
+        self = cls.__new__(cls)
+        self.k = len(coeffs)
+        self.range_size = range_size
+        self.coeffs = [int(c) for c in coeffs]
+        self._coeff_column = np.array(self.coeffs, dtype=np.uint64)[:, None]
+        return self
+
+    def __reduce__(self):
+        return (_rebuild_kwise_hash,
+                (type(self), self.range_size, tuple(self.coeffs)))
+
     def field_value(self, x: int) -> int:
         """The polynomial evaluated in GF(p), before range reduction."""
         acc = 0
@@ -215,6 +241,12 @@ class KWiseHash:
         reduced = np.array([x % MERSENNE_P for x in xs], dtype=np.uint64)
         values = poly_field_values(self._coeff_column, reduced)[:, 0]
         return [int(v) for v in values % np.uint64(self.range_size)]
+
+
+def _rebuild_kwise_hash(cls, range_size: int, coeffs) -> "KWiseHash":
+    """Pickle hook for :meth:`KWiseHash.__reduce__` (module-level so the
+    reducer pickles by reference under every protocol)."""
+    return cls.from_params(range_size, coeffs)
 
 
 class PairwiseHash(KWiseHash):

@@ -87,14 +87,22 @@ class SamplerRandomness:
                  rng: np.random.Generator):
         if columns < 1:
             raise ValueError("need at least one column")
+        level_range = 1 << levels_for_universe(universe)
+        hashes = [PairwiseHash(level_range, rng) for _ in range(columns)]
+        self._init_state(universe, columns, hashes,
+                         random_field_element(rng))
+
+    def _init_state(self, universe: int, columns: int,
+                    hashes: "List[PairwiseHash]", z: int) -> None:
+        """Shared tail of ``__init__`` and :meth:`from_params`: derive
+        every cached structure from the defining ``(universe, columns,
+        hashes, z)`` parameters, drawing no randomness."""
         self.universe = universe
         self.columns = columns
         self.levels = levels_for_universe(universe)
         self._level_range = 1 << self.levels
-        self.level_hashes: List[PairwiseHash] = [
-            PairwiseHash(self._level_range, rng) for _ in range(columns)
-        ]
-        self.z = random_field_element(rng)
+        self.level_hashes: List[PairwiseHash] = hashes
+        self.z = z
         self._zpow_cache = LRUMemo(CACHE_LIMIT)
         self._levels_cache = LRUMemo(CACHE_LIMIT)
         # Stacked coefficients of the per-column pairwise hashes:
@@ -109,6 +117,45 @@ class SamplerRandomness:
         while (1 << len(self._zpow_ladder)) < max(2, universe):
             last = self._zpow_ladder[-1]
             self._zpow_ladder.append(last * last % MERSENNE_P)
+
+    # -- spawn-safe reconstruction --------------------------------------
+    def params(self) -> tuple:
+        """The defining parameters: ``(universe, columns, z, coeffs)``.
+
+        Everything else (caches, coefficient matrix, power ladder) is
+        derived; two instances with equal params behave identically on
+        every input.
+        """
+        return (
+            self.universe,
+            self.columns,
+            self.z,
+            tuple(tuple(h.coeffs) for h in self.level_hashes),
+        )
+
+    @classmethod
+    def from_params(cls, universe: int, columns: int, z: int,
+                    level_coeffs) -> "SamplerRandomness":
+        """Rebuild identical randomness from :meth:`params` alone.
+
+        The spawn-safe constructor used by the execution-backend
+        workers: no ``rng`` is consumed and no caches are shipped, yet
+        the rebuilt instance hashes, levels, and fingerprints exactly
+        like the original -- the contract the backend's bit-identical
+        guarantee rests on.
+        """
+        if columns < 1 or len(level_coeffs) != columns:
+            raise ValueError("level_coeffs must supply one coefficient "
+                             "pair per column")
+        level_range = 1 << levels_for_universe(universe)
+        hashes = [PairwiseHash.from_params(level_range, coeffs)
+                  for coeffs in level_coeffs]
+        self = cls.__new__(cls)
+        self._init_state(universe, columns, hashes, int(z))
+        return self
+
+    def __reduce__(self):
+        return (_randomness_from_params, self.params())
 
     def levels_of(self, idx: int) -> np.ndarray:
         """Per-column top level of coordinate ``idx`` (cached)."""
@@ -191,6 +238,71 @@ class SamplerRandomness:
         wm = (ws % MERSENNE_P).astype(np.uint64)
         zp = self.zpow_many(idxs).astype(np.uint64)
         return mulmod_many(wm, zp).astype(np.int64) == fs
+
+
+def _randomness_from_params(universe, columns, z,
+                            level_coeffs) -> SamplerRandomness:
+    """Pickle hook for :meth:`SamplerRandomness.__reduce__` (module-level
+    so the reducer pickles by reference under every protocol)."""
+    return SamplerRandomness.from_params(universe, columns, z,
+                                         level_coeffs)
+
+
+# ---------------------------------------------------------------------------
+# Cell-block query cores
+# ---------------------------------------------------------------------------
+# The vectorized query primitives, factored to operate on a raw
+# ``(k, 4, columns, levels)`` cell stack.  The L0Sampler statics wrap
+# them for sampler lists; the execution backends call them directly on
+# row shards of a shared-memory pool -- one definition, so every route
+# answers bit-identically.
+
+def is_zero_cells(cells: np.ndarray) -> np.ndarray:
+    """Per-row all-columns zero test over a ``(k, 4, c, L)`` stack."""
+    sums = cells.sum(axis=-1)                          # (k, 4, columns)
+    zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
+    if zero.any():
+        zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
+    return zero.all(axis=-1)
+
+
+def sample_cells(cells: np.ndarray, cols: np.ndarray,
+                 randomness: SamplerRandomness) -> np.ndarray:
+    """Per-row one-column recovery; ``cols`` has shape ``(k,)``."""
+    k = cells.shape[0]
+    block = cells[np.arange(k), :, cols, :]            # (k, 4, levels)
+    prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
+    return recover_from_prefix(
+        prefix.transpose(1, 0, 2), randomness.universe,
+        randomness.fingerprint_ok_many,
+    )
+
+
+def query_cells(cells: np.ndarray, cols: np.ndarray,
+                randomness: SamplerRandomness
+                ) -> "tuple[np.ndarray, np.ndarray]":
+    """Fused zero test + one-column recovery over a cell stack.
+
+    Returns ``(zeros, found)``; only the non-zero rows pay for
+    recovery, and ``found`` is ``-1`` for zero rows and failed
+    recovery alike.
+    """
+    k = cells.shape[0]
+    sums = cells.sum(axis=-1)                          # (k, 4, columns)
+    zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
+    if zero.any():
+        zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
+    zeros = zero.all(axis=-1)
+    found = np.full(k, -1, dtype=np.int64)
+    live = np.flatnonzero(~zeros)
+    if live.size:
+        block = cells[live, :, cols[live], :]          # (l, 4, levels)
+        prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
+        found[live] = recover_from_prefix(
+            prefix.transpose(1, 0, 2), randomness.universe,
+            randomness.fingerprint_ok_many,
+        )
+    return zeros, found
 
 
 def update_grouped(samplers, randomness: SamplerRandomness,
@@ -412,24 +524,9 @@ class L0Sampler:
         and skipped inside the same vectorized pass.
         """
         cells = L0Sampler._stacked_cells(samplers)
-        k = cells.shape[0]
-        randomness = samplers[0].randomness
-        cols = np.broadcast_to(np.asarray(columns, dtype=np.int64), (k,))
-        sums = cells.sum(axis=-1)                      # (k, 4, columns)
-        zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
-        if zero.any():
-            zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
-        zeros = zero.all(axis=-1)
-        found = np.full(k, -1, dtype=np.int64)
-        live = np.flatnonzero(~zeros)
-        if live.size:
-            block = cells[live, :, cols[live], :]      # (l, 4, levels)
-            prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
-            found[live] = recover_from_prefix(
-                prefix.transpose(1, 0, 2), randomness.universe,
-                randomness.fingerprint_ok_many,
-            )
-        return zeros, found
+        cols = np.broadcast_to(np.asarray(columns, dtype=np.int64),
+                               (cells.shape[0],))
+        return query_cells(cells, cols, samplers[0].randomness)
 
     @staticmethod
     def is_zero_many(samplers: "list[L0Sampler]") -> np.ndarray:
@@ -439,12 +536,7 @@ class L0Sampler:
         ``samplers[i].is_zero()`` -- one stacked reduction instead of a
         Python loop over samplers and columns.
         """
-        cells = L0Sampler._stacked_cells(samplers)
-        sums = cells.sum(axis=-1)                      # (k, 4, columns)
-        zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
-        if zero.any():
-            zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
-        return zero.all(axis=-1)
+        return is_zero_cells(L0Sampler._stacked_cells(samplers))
 
     @staticmethod
     def sample_many(samplers: "list[L0Sampler]",
@@ -459,17 +551,9 @@ class L0Sampler:
         the shared randomness.
         """
         cells = L0Sampler._stacked_cells(samplers)
-        k = cells.shape[0]
-        cols = np.broadcast_to(
-            np.asarray(columns, dtype=np.int64), (k,)
-        )
-        block = cells[np.arange(k), :, cols, :]        # (k, 4, levels)
-        prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
-        randomness = samplers[0].randomness
-        return recover_from_prefix(
-            prefix.transpose(1, 0, 2), randomness.universe,
-            randomness.fingerprint_ok_many,
-        )
+        cols = np.broadcast_to(np.asarray(columns, dtype=np.int64),
+                               (cells.shape[0],))
+        return sample_cells(cells, cols, samplers[0].randomness)
 
     @property
     def words(self) -> int:

@@ -100,6 +100,36 @@ def _scatter_weights(deltas: np.ndarray, idxs: np.ndarray,
     )
 
 
+def pool_scatter(flat_cells: np.ndarray, columns: int, levels: int,
+                 slots: np.ndarray, col_levels: np.ndarray,
+                 idxs: np.ndarray, deltas: np.ndarray,
+                 zpows: np.ndarray) -> None:
+    """Scatter many (slot, coordinate, delta) updates into a flattened
+    ``(count, 4, columns, levels)`` cell block.
+
+    The one definition of the pool scatter, shared by
+    :meth:`RecoveryPool.apply_points` and the execution-backend workers
+    (:mod:`repro.mpc.backend`), which write disjoint slot shards of the
+    same shared-memory block -- one source of truth keeps the parallel
+    and sequential paths bit-identical.  Duplicate (slot, cell) targets
+    accumulate correctly (``np.add.at``), and int64 addition is exact
+    and order-independent, so any partition of the entries over callers
+    lands in the same final state.
+    """
+    e = slots.shape[0]
+    if e == 0:
+        return
+    row_words = 4 * columns * levels
+    cell_base = np.arange(columns, dtype=np.int64) * levels
+    q_offsets = (np.arange(4, dtype=np.int64)
+                 * (columns * levels))[None, :, None]
+    cell_flat = cell_base[None, :] + col_levels                # (e, c)
+    flat = ((slots * row_words)[:, None, None]
+            + q_offsets + cell_flat[:, None, :]).ravel()
+    weights = _scatter_weights(deltas, idxs, zpows, columns)
+    np.add.at(flat_cells, flat, weights)
+
+
 def _combine_limbs(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     """``(lo + 2^32 * hi) mod p`` for int64 limb arrays (any sign).
 
@@ -487,7 +517,7 @@ class RecoveryPool:
     """
 
     __slots__ = ("count", "columns", "levels", "cells", "f_mass",
-                 "row_mass", "_col_offsets", "_q_offsets", "_flat",
+                 "row_mass", "_flat",
                  "_view_cell_base", "_view_q_offsets", "_view_scratch")
 
     def __init__(self, count: int, columns: int, levels: int):
@@ -506,13 +536,11 @@ class RecoveryPool:
         self.f_mass = 0
         self.row_mass = np.zeros(count, dtype=np.int64)
         self._flat = self.cells.reshape(-1)
-        # Index helpers, shared by the pool scatter and by every view
-        # this pool hands out (one definition of the flat layout).
+        # Index helpers shared by every view this pool hands out (the
+        # bulk scatter itself lives in :func:`pool_scatter`).
         self._view_cell_base = np.arange(columns, dtype=np.int64) * levels
         self._view_q_offsets = (np.arange(4, dtype=np.int64)
                                 * (columns * levels))[:, None]
-        self._col_offsets = self._view_cell_base[None, :]
-        self._q_offsets = self._view_q_offsets[None, :, :]
         self._view_scratch = np.empty((4, columns), dtype=np.int64)
 
     # -- per-quantity views (inspection / tests) ------------------------
@@ -531,6 +559,27 @@ class RecoveryPool:
     @property
     def Fhi(self) -> np.ndarray:
         return self.cells[:, _QHI]
+
+    def adopt_buffer(self, cells: np.ndarray) -> None:
+        """Move this pool's cells into an externally owned buffer.
+
+        The execution backends use this to place the cell block in
+        ``multiprocessing.shared_memory`` so worker processes can
+        scatter into their row shards directly.  Current contents are
+        preserved.  Must be called before any :meth:`matrix` views are
+        handed out -- existing views keep pointing at the old block
+        (the :class:`~repro.sketch.graph_sketch.SketchFamily`
+        constructor attaches its pool before creating vertex sketches,
+        which guarantees the ordering).
+        """
+        if cells.shape != self.cells.shape or cells.dtype != np.int64:
+            raise ValueError(
+                f"buffer of shape {cells.shape} / {cells.dtype} cannot "
+                f"back a pool of shape {self.cells.shape} int64"
+            )
+        cells[...] = self.cells
+        self.cells = cells
+        self._flat = cells.reshape(-1)
 
     def matrix(self, slot: int) -> RecoveryMatrix:
         """A view-backed matrix over row ``slot`` of the pool.
@@ -589,15 +638,22 @@ class RecoveryPool:
         the result is bit-identical to applying the points one at a
         time to the individual row matrices in any order.
         """
-        e = slots.shape[0]
-        if e == 0:
+        if slots.shape[0] == 0:
             return
-        row_words = 4 * self.columns * self.levels
-        cell_flat = self._col_offsets + col_levels              # (e, c)
-        flat = ((slots * row_words)[:, None, None]
-                + self._q_offsets + cell_flat[:, None, :]).ravel()
-        weights = _scatter_weights(deltas, idxs, zpows, self.columns)
-        np.add.at(self._flat, flat, weights)
+        pool_scatter(self._flat, self.columns, self.levels, slots,
+                     col_levels, idxs, deltas, zpows)
+        self.record_mass(slots, deltas)
+
+    def record_mass(self, slots: np.ndarray, deltas: np.ndarray) -> None:
+        """Record a scatter's update mass (per row and pool-wide).
+
+        Split out of :meth:`apply_points` because the shared-memory
+        backend's workers only scatter -- the parent records the mass
+        (and runs any due renormalization) after the barrier, at the
+        same point in the update order as the sequential path.
+        """
+        if slots.shape[0] == 0:
+            return
         mass = np.abs(deltas)
         np.add.at(self.row_mass, slots, mass)
         self.bump_mass(int(mass.sum()))

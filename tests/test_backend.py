@@ -1,0 +1,467 @@
+"""Execution-backend matrix: parity, spawn-safety, crash surfacing.
+
+The contract under test (see :mod:`repro.mpc.backend`): the
+``shared_memory`` backend is *bit-identical* to the ``sequential`` one
+-- same pool cells after any mix of bulk and scalar updates, same query
+answers, and therefore identical end-to-end behaviour of every
+algorithm built on the sketches -- while worker failures surface as
+:class:`~repro.errors.SketchError` instead of hangs or corruption.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_valid_batch
+from repro.baselines.agm_static import AGMStaticConnectivity
+from repro.core import MPCConnectivity
+from repro.core.bipartiteness import DynamicBipartiteness
+from repro.core.msf_approx import ApproxMSF
+from repro.core.streaming_connectivity import StreamingConnectivity
+from repro.errors import ConfigurationError, SketchError
+from repro.mpc import MPCConfig
+from repro.mpc.backend import (
+    SequentialBackend,
+    SharedMemoryBackend,
+    get_backend,
+    resolve_backend,
+)
+from repro.sketch import (
+    FourWiseHash,
+    L0Sampler,
+    PairwiseHash,
+    SamplerRandomness,
+    SketchFamily,
+)
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def shared_backend():
+    """The process-wide 2-worker backend (shared across tests so the
+    suite spawns one fleet, not one per test)."""
+    return get_backend("shared_memory", workers=WORKERS)
+
+
+def _seq_config(n: int, seed: int = 7, **kw) -> MPCConfig:
+    return MPCConfig(n=n, seed=seed, backend="sequential", **kw)
+
+
+def _shm_config(n: int, seed: int = 7, **kw) -> MPCConfig:
+    return MPCConfig(n=n, seed=seed, backend="shared_memory",
+                     backend_workers=WORKERS, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: spawn-safe randomness -- (seed, params) round trips
+# ---------------------------------------------------------------------------
+
+class TestSpawnSafeRandomness:
+    def test_kwise_hash_pickle_roundtrip(self, rng):
+        for cls in (PairwiseHash, FourWiseHash):
+            original = cls(1 << 12, rng)
+            clone = pickle.loads(pickle.dumps(original))
+            assert type(clone) is cls
+            assert clone.coeffs == original.coeffs
+            assert clone.range_size == original.range_size
+            xs = [0, 1, 17, (1 << 40) + 3]
+            assert [clone(x) for x in xs] == [original(x) for x in xs]
+
+    def test_kwise_hash_from_params(self, rng):
+        original = PairwiseHash(64, rng)
+        rebuilt = PairwiseHash.from_params(64, original.coeffs)
+        assert rebuilt.field_value(12345) == original.field_value(12345)
+        many = np.arange(50, dtype=np.int64)
+        assert np.array_equal(rebuilt.field_value_many(many),
+                              original.field_value_many(many))
+
+    def test_randomness_roundtrip_is_bit_identical(self, rng):
+        original = SamplerRandomness(universe=5000, columns=6, rng=rng)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.params() == original.params()
+        idxs = np.array([0, 1, 2, 999, 4999], dtype=np.int64)
+        assert np.array_equal(clone.levels_of_many(idxs),
+                              original.levels_of_many(idxs))
+        assert np.array_equal(clone.zpow_many(idxs),
+                              original.zpow_many(idxs))
+        for idx in idxs.tolist():
+            assert np.array_equal(clone.levels_of(idx),
+                                  original.levels_of(idx))
+            assert clone.zpow(idx) == original.zpow(idx)
+        ws = np.array([1, -2, 3, 7, 1], dtype=np.int64)
+        fs = original.zpow_many(idxs)
+        assert np.array_equal(clone.fingerprint_ok_many(idxs, ws, fs),
+                              original.fingerprint_ok_many(idxs, ws, fs))
+
+    def test_from_params_draws_no_randomness(self, rng):
+        original = SamplerRandomness(universe=300, columns=4, rng=rng)
+        rebuilt = SamplerRandomness.from_params(*original.params())
+        assert rebuilt.params() == original.params()
+        # Fresh caches, same behaviour.
+        assert len(rebuilt._zpow_cache) == 0
+        assert rebuilt.zpow(123) == original.zpow(123)
+
+    def test_from_params_validates_columns(self):
+        with pytest.raises(ValueError):
+            SamplerRandomness.from_params(100, 3, 1, ((1, 2),))
+
+
+# ---------------------------------------------------------------------------
+# Backend construction / resolution
+# ---------------------------------------------------------------------------
+
+class TestBackendResolution:
+    def test_sequential_is_shared_singleton(self):
+        assert get_backend("sequential") is get_backend("sequential")
+        assert isinstance(get_backend(None), SequentialBackend) or \
+            get_backend(None).parallel  # env may force shared_memory
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("gpu")
+        with pytest.raises(ConfigurationError):
+            MPCConfig(n=16, backend="gpu")
+
+    def test_resolve_accepts_instances(self, shared_backend):
+        assert resolve_backend(shared_backend) is shared_backend
+        with pytest.raises(ConfigurationError):
+            resolve_backend(42)
+
+    def test_shared_cache_reuses_fleet(self, shared_backend):
+        assert get_backend("shared_memory",
+                           workers=WORKERS) is shared_backend
+        assert get_backend("shm", workers=WORKERS) is shared_backend
+
+
+# ---------------------------------------------------------------------------
+# Pool-level parity: ingestion, scalar/bulk mixes, queries
+# ---------------------------------------------------------------------------
+
+def _family_pair(shared_backend, n=40, columns=6, seed=9):
+    seq = SketchFamily(n, columns=columns,
+                       rng=np.random.default_rng(seed),
+                       backend="sequential")
+    shm = SketchFamily(n, columns=columns,
+                       rng=np.random.default_rng(seed),
+                       backend=shared_backend)
+    assert seq.randomness.params() == shm.randomness.params()
+    return seq, shm
+
+
+def _random_edges(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < k:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    edges = sorted(edges)
+    us = np.array([u for u, _ in edges], dtype=np.int64)
+    vs = np.array([v for _, v in edges], dtype=np.int64)
+    return us, vs
+
+
+class TestPoolParity:
+    def test_bulk_ingestion_bit_identical(self, shared_backend):
+        seq, shm = _family_pair(shared_backend)
+        us, vs = _random_edges(40, 60)
+        deltas = np.ones(60, dtype=np.int64)
+        seq.apply_edges_bulk(us, vs, deltas)
+        shm.apply_edges_bulk(us, vs, deltas)
+        assert np.array_equal(seq.pool.cells, shm.pool.cells)
+        assert np.array_equal(seq.pool.row_mass, shm.pool.row_mass)
+        assert seq.pool.f_mass == shm.pool.f_mass
+
+    def test_scalar_and_bulk_mix_bit_identical(self, shared_backend):
+        seq, shm = _family_pair(shared_backend)
+        seq_sk = {v: seq.new_vertex_sketch(v) for v in range(40)}
+        shm_sk = {v: shm.new_vertex_sketch(v) for v in range(40)}
+        us, vs = _random_edges(40, 30)
+        ones = np.ones(30, dtype=np.int64)
+        seq.apply_edges_bulk(us, vs, ones)
+        shm.apply_edges_bulk(us, vs, ones)
+        # Scalar updates write the (possibly shared-memory) pool rows
+        # directly from the parent -- same cells either way.
+        for u, v in ((1, 2), (5, 38), (0, 39)):
+            for sketches in (seq_sk, shm_sk):
+                sketches[u].apply_edge(u, v, +1)
+                sketches[v].apply_edge(u, v, +1)
+        seq.apply_edges_bulk(us[:9], vs[:9], -ones[:9])
+        shm.apply_edges_bulk(us[:9], vs[:9], -ones[:9])
+        assert np.array_equal(seq.pool.cells, shm.pool.cells)
+
+    def test_query_routes_bit_identical(self, shared_backend):
+        seq, shm = _family_pair(shared_backend)
+        seq_samplers = [seq.new_vertex_sketch(v).sampler
+                        for v in range(40)]
+        shm_samplers = [shm.new_vertex_sketch(v).sampler
+                        for v in range(40)]
+        us, vs = _random_edges(40, 60)
+        ones = np.ones(60, dtype=np.int64)
+        seq.apply_edges_bulk(us, vs, ones)
+        shm.apply_edges_bulk(us, vs, ones)
+
+        for column in range(seq.columns):
+            z_seq, e_seq = seq.query_iteration_bulk(seq_samplers, column)
+            z_shm, e_shm = shm.query_iteration_bulk(shm_samplers, column)
+            assert np.array_equal(z_seq, z_shm)
+            assert e_seq == e_shm
+            assert seq.query_bulk(seq_samplers, column) == \
+                shm.query_bulk(shm_samplers, column)
+        assert np.array_equal(seq.cuts_empty_bulk(seq_samplers),
+                              shm.cuts_empty_bulk(shm_samplers))
+        # Ground truth: the in-process sampler statics.
+        zeros, found = L0Sampler.query_many(shm_samplers, 0)
+        z_shm, e_shm = shm.query_iteration_bulk(shm_samplers, 0)
+        assert np.array_equal(zeros, z_shm)
+        assert shm.decode_many(found) == e_shm
+
+    def test_subset_and_repeated_slots(self, shared_backend):
+        seq, shm = _family_pair(shared_backend)
+        seq_samplers = [seq.new_vertex_sketch(v).sampler
+                        for v in range(40)]
+        shm_samplers = [shm.new_vertex_sketch(v).sampler
+                        for v in range(40)]
+        us, vs = _random_edges(40, 50)
+        ones = np.ones(50, dtype=np.int64)
+        seq.apply_edges_bulk(us, vs, ones)
+        shm.apply_edges_bulk(us, vs, ones)
+        order = [7, 3, 3, 39, 0, 21, 7]
+        z_seq, e_seq = seq.query_iteration_bulk(
+            [seq_samplers[i] for i in order], 1)
+        z_shm, e_shm = shm.query_iteration_bulk(
+            [shm_samplers[i] for i in order], 1)
+        assert np.array_equal(z_seq, z_shm)
+        assert e_seq == e_shm
+
+    def test_merged_sketches_fall_back_in_process(self, shared_backend):
+        # Standalone (merged) sketches are not pool rows: the router
+        # must answer them locally, identically on both backends.
+        seq, shm = _family_pair(shared_backend)
+        seq_sk = [seq.new_vertex_sketch(v) for v in range(40)]
+        shm_sk = [shm.new_vertex_sketch(v) for v in range(40)]
+        us, vs = _random_edges(40, 50)
+        ones = np.ones(50, dtype=np.int64)
+        seq.apply_edges_bulk(us, vs, ones)
+        shm.apply_edges_bulk(us, vs, ones)
+        seq_merged = L0Sampler.merged([s.sampler for s in seq_sk[:5]])
+        shm_merged = L0Sampler.merged([s.sampler for s in shm_sk[:5]])
+        z_seq, e_seq = seq.query_iteration_bulk([seq_merged], 0)
+        z_shm, e_shm = shm.query_iteration_bulk([shm_merged], 0)
+        assert np.array_equal(z_seq, z_shm)
+        assert e_seq == e_shm
+
+
+# ---------------------------------------------------------------------------
+# End-to-end algorithm matrix on both backends
+# ---------------------------------------------------------------------------
+
+def _drive(alg_a, alg_b, n, rng, phases=5, size=10, weighted=False):
+    live = set()
+    for _ in range(phases):
+        batch = make_valid_batch(rng, n, live, size, weighted=weighted)
+        alg_a.apply_batch(list(batch))
+        alg_b.apply_batch(list(batch))
+
+
+class TestAlgorithmParity:
+    def test_connectivity_matrix(self, shared_backend):
+        n = 48
+        a = MPCConnectivity(_seq_config(n))
+        b = MPCConnectivity(_shm_config(n))
+        _drive(a, b, n, np.random.default_rng(31))
+        assert a.num_components() == b.num_components()
+        assert sorted(a.forest.all_edges()) == sorted(b.forest.all_edges())
+        assert a.stats == b.stats
+        assert a.query_spanning_forest().edges == \
+            b.query_spanning_forest().edges
+
+    def test_msf_matrix(self, shared_backend):
+        n = 32
+        a = ApproxMSF(_seq_config(n), eps=0.5, max_weight=64.0)
+        b = ApproxMSF(_shm_config(n), eps=0.5, max_weight=64.0)
+        _drive(a, b, n, np.random.default_rng(5), phases=4, size=8,
+               weighted=True)
+        assert a.weight_estimate() == b.weight_estimate()
+        fa, fb = a.query_forest(), b.query_forest()
+        assert fa.edges == fb.edges
+        assert fa.weights == fb.weights
+
+    def test_bipartiteness_matrix(self, shared_backend):
+        n = 24
+        a = DynamicBipartiteness(_seq_config(n))
+        b = DynamicBipartiteness(_shm_config(n))
+        rng = np.random.default_rng(13)
+        live = set()
+        for _ in range(4):
+            batch = make_valid_batch(rng, n, live, 8)
+            a.apply_batch(list(batch))
+            b.apply_batch(list(batch))
+            assert a.is_bipartite() == b.is_bipartite()
+            assert a.num_components() == b.num_components()
+
+    def test_agm_static_matrix(self, shared_backend):
+        n = 32
+        a = AGMStaticConnectivity(_seq_config(n))
+        b = AGMStaticConnectivity(_shm_config(n))
+        _drive(a, b, n, np.random.default_rng(17), phases=3, size=8)
+        assert a.query_spanning_forest().edges == \
+            b.query_spanning_forest().edges
+
+    def test_driver_level_backend_knob(self, shared_backend):
+        # The batch-dynamic drivers accept backend= directly (it only
+        # applies when they build their own cluster).
+        n = 24
+        a = MPCConnectivity(_seq_config(n))
+        b = MPCConnectivity(MPCConfig(n=n, seed=7),
+                            backend=shared_backend)
+        assert b.cluster.backend is shared_backend
+        assert AGMStaticConnectivity(
+            MPCConfig(n=n, seed=7), backend="sequential"
+        ).cluster.backend.name == "sequential"
+        _drive(a, b, n, np.random.default_rng(23), phases=3, size=6)
+        assert sorted(a.forest.all_edges()) == sorted(b.forest.all_edges())
+
+    def test_streaming_connectivity_backend_knob(self, shared_backend):
+        a = StreamingConnectivity(20, seed=5, backend="sequential")
+        b = StreamingConnectivity(20, seed=5, backend=shared_backend)
+        a.preload([(0, 1), (1, 2), (3, 4), (2, 3)])
+        b.preload([(0, 1), (1, 2), (3, 4), (2, 3)])
+        for op, (u, v) in [("i", (4, 5)), ("i", (0, 2)), ("d", (1, 2)),
+                           ("d", (2, 3)), ("i", (10, 11))]:
+            (a.insert if op == "i" else a.delete)(u, v)
+            (b.insert if op == "i" else b.delete)(u, v)
+        assert a.num_components() == b.num_components()
+        assert sorted(a.forest.all_edges()) == sorted(b.forest.all_edges())
+        assert np.array_equal(a.family.pool.cells, b.family.pool.cells)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: per-shard metrics attribution
+# ---------------------------------------------------------------------------
+
+class TestShardAttribution:
+    def test_parallel_backend_attributes_per_machine(self):
+        n = 48
+        alg = MPCConnectivity(_shm_config(n))
+        rng = np.random.default_rng(2)
+        live = set()
+        snapshot = alg.apply_batch(make_valid_batch(rng, n, live, 12))
+        by_machine = snapshot.words_by_machine
+        assert sum(by_machine.values()) >= 12  # one word per update
+        assert len(by_machine) > 1, (
+            "a spread batch must land on more than one machine"
+        )
+        partition = alg.cluster.partition
+        assert all(0 <= mid < partition.num_machines
+                   for mid in by_machine)
+
+    def test_sequential_backend_keeps_legacy_lumping(self):
+        n = 48
+        alg = MPCConnectivity(_seq_config(n))
+        rng = np.random.default_rng(2)
+        live = set()
+        snapshot = alg.apply_batch(make_valid_batch(rng, n, live, 12))
+        assert snapshot.words_by_machine == {}
+
+    def test_backend_records_shard_split(self, shared_backend):
+        _, shm = _family_pair(shared_backend)
+        us, vs = _random_edges(40, 20)
+        shm.apply_edges_bulk(us, vs, np.ones(20, dtype=np.int64))
+        split = shared_backend.last_split
+        assert sum(split.values()) == 40  # two endpoints per edge
+        assert set(split) <= set(range(WORKERS))
+
+
+# ---------------------------------------------------------------------------
+# Failure model: dead workers surface as SketchError
+# ---------------------------------------------------------------------------
+
+class TestWorkerCrash:
+    def test_dead_worker_raises_sketch_error(self):
+        # A private fleet: killing a worker must not poison the shared
+        # module-level backend other tests use.
+        backend = SharedMemoryBackend(num_workers=2)
+        try:
+            family = SketchFamily(16, columns=4,
+                                  rng=np.random.default_rng(0),
+                                  backend=backend)
+            us, vs = _random_edges(16, 10)
+            ones = np.ones(10, dtype=np.int64)
+            family.apply_edges_bulk(us, vs, ones)
+            backend._procs[0].kill()
+            backend._procs[0].join(timeout=5)
+            with pytest.raises(SketchError, match="died"):
+                family.apply_edges_bulk(us, vs, -ones)
+            # The backend stays broken (no silent half-applied state).
+            assert not backend.usable
+            with pytest.raises(SketchError):
+                family.apply_edges_bulk(us, vs, ones)
+        finally:
+            backend.close()
+
+    def test_worker_exception_surfaces_with_traceback(self):
+        backend = SharedMemoryBackend(num_workers=2)
+        try:
+            family = SketchFamily(16, columns=4,
+                                  rng=np.random.default_rng(0),
+                                  backend=backend)
+            # A malformed descriptor (out-of-range column) blows up in
+            # the worker; the exception must come back as SketchError
+            # and the fleet must stay usable afterwards.
+            us0, vs0 = _random_edges(16, 8, seed=3)
+            family.apply_edges_bulk(us0, vs0,
+                                    np.ones(8, dtype=np.int64))
+            handle = family._pool_handle
+            bad_slots = np.arange(16, dtype=np.int64)
+            bad_cols = np.full(16, 99, dtype=np.int64)  # no such column
+            with pytest.raises(SketchError, match="worker"):
+                backend.query_rows(handle, bad_slots, bad_cols)
+            assert backend.usable
+            us, vs = _random_edges(16, 5)
+            family.apply_edges_bulk(us, vs, np.ones(5, dtype=np.int64))
+        finally:
+            backend.close()
+
+    def test_pool_detach_is_deferred_and_flushed(self):
+        # Finalizers may run from GC inside an in-flight dispatch, so
+        # release_token must only queue the worker-side detach; the
+        # next top-level call drains the queue.
+        import gc
+
+        backend = SharedMemoryBackend(num_workers=1)
+        try:
+            family = SketchFamily(8, columns=4,
+                                  rng=np.random.default_rng(0),
+                                  backend=backend)
+            token = family._pool_handle.token
+            del family
+            gc.collect()
+            assert token in backend._pending_detach
+            assert token not in backend._handles  # segment released
+            survivor = SketchFamily(8, columns=4,
+                                    rng=np.random.default_rng(1),
+                                    backend=backend)
+            assert backend._pending_detach == []
+            us, vs = _random_edges(8, 4)
+            survivor.apply_edges_bulk(us, vs,
+                                      np.ones(4, dtype=np.int64))
+        finally:
+            backend.close()
+
+    def test_closed_backend_rejects_work(self):
+        backend = SharedMemoryBackend(num_workers=1)
+        family = SketchFamily(8, columns=4,
+                              rng=np.random.default_rng(0),
+                              backend=backend)
+        backend.close()
+        with pytest.raises(SketchError, match="closed"):
+            family.apply_edges_bulk(
+                np.array([0], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
