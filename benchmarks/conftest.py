@@ -40,6 +40,9 @@ def summarize_phases(alg) -> Dict[str, object]:
         "rounds/batch(med)": sorted(rounds)[len(rounds) // 2]
         if rounds else 0,
         "peak_memory": alg.cluster.metrics.peak_total_memory,
+        # Where the phases executed (PR 3 follow-on): experiment tables
+        # stay interpretable when CI re-runs them on a worker fleet.
+        "backend": alg.cluster.backend.describe(),
     }
 
 

@@ -161,9 +161,12 @@ def test_exp1_resource_summary(benchmark):
         rows,
         columns=["algorithm", "phases", "rounds/batch(max)",
                  "rounds_bound", "peak_memory", "memory_bound",
-                 "quality"],
+                 "backend", "quality"],
         title=f"EXP-1 resource summary (n={N}, phi={PHI}, batch={BATCH})",
     )
+    # Every row records where its phases executed (backend.describe()).
+    for row in rows:
+        assert row["backend"], row
     # Theorem checks: constant rounds and memory within the class bound.
     for row in rows:
         assert row["rounds/batch(max)"] <= row["rounds_bound"], row

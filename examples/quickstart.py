@@ -1,13 +1,18 @@
-"""Quickstart: batch-dynamic connectivity on a simulated MPC cluster.
+"""Quickstart: a GraphSession serving three query types from one stream.
 
 Run with::
 
     python examples/quickstart.py
 
-Builds a cluster in the paper's model (local memory n^phi, ~O(n) total
-memory), streams a few batches of edge insertions and deletions, and
-shows the three quantities the paper is about: rounds per batch, total
-memory, and the maintained spanning forest.
+The one-stop entry point is :class:`repro.GraphSession`: pick the
+algorithms to maintain (here connectivity, exact MSF, and
+bipartiteness), stream updates through ``ingest`` -- raw ``(u, v)``
+pairs, ``(u, v, weight)`` triples, ``Update`` objects, or lazy
+generators; batching to the model's per-phase bound is automatic --
+and query any maintained solution at any time.  One simulated MPC
+cluster, one execution backend, and one stream validator serve all
+tasks, and every answer is bit-identical to running the standalone
+algorithm classes side by side.
 
 Choosing a backend
 ------------------
@@ -21,11 +26,10 @@ work can execute on two backends (see :mod:`repro.mpc.backend`):
   pays off when batches carry thousands of updates, ``n`` is large, and
   real cores are available (EXP-14 tracks the crossover).
 
-Select it per run::
+Select it per session::
 
-    config = MPCConfig(n=4096, backend="shared_memory",
-                       backend_workers=4)
-    alg = MPCConnectivity(config)   # same code, parallel execution
+    GraphSession(n, tasks=..., backend="shared_memory",
+                 backend_workers=4)
 
 or globally via the environment (how CI runs the whole tier-1 suite on
 the cluster backend)::
@@ -33,48 +37,69 @@ the cluster backend)::
     REPRO_BACKEND=shared_memory REPRO_BACKEND_WORKERS=2 python ...
 """
 
+from repro import GraphSession, dele, ins
 from repro.analysis import connectivity_total_memory_bound, print_table
-from repro.core import MPCConnectivity
-from repro.mpc import MPCConfig
-from repro.types import dele, ins
 
 
 def main() -> None:
     n = 64
-    config = MPCConfig(n=n, phi=0.5, seed=0)
-    print(config.describe())
+    with GraphSession(n, tasks=("connectivity", "msf", "bipartiteness"),
+                      phi=0.5, seed=0) as session:
+        print(session.config.describe())
 
+        # Phase 1: one batch builds two separate weighted paths.  Raw
+        # (u, v, weight) triples are coerced to insertions.
+        session.ingest([(i, i + 1, 1.0 + i % 3) for i in range(0, 10)])
+        session.ingest([(i, i + 1, 2.0) for i in range(20, 30)])
+
+        # Phase 2: bridge them, and add a spare (non-tree) edge.
+        session.ingest([(10, 20, 5.0), (0, 30, 4.0)])
+        assert session.connected(0, 30)
+
+        # Deletions (and anything non-default) use Update objects.  The
+        # exact-MSF task maintains an insertion-only theorem, so queries
+        # keep answering but the deletion stream must not reach it --
+        # a production split would run it in its own session:
+        print(f"\nbipartite so far? {session.is_bipartite()}")
+        print(f"MSF weight: {session.msf_weight():.1f}")
+        forest = session.spanning_forest()
+        print(f"spanning forest: {len(forest.edges)} edges, "
+              f"{forest.num_components} components")
+
+        # The merged report: per-task, per-phase resources on the one
+        # shared cluster ('(route)' rows are the once-per-phase shared
+        # batch-routing charge).
+        session.print_report()
+
+        print_table(session.summary(),
+                    title="per-task summary (one cluster, one backend)")
+
+        conn = session.query("connectivity")
+        print(f"connectivity memory: {conn.registered_memory_words()} "
+              f"words (~O(n) bound at n={n}: "
+              f"{int(connectivity_total_memory_bound(n))})")
+
+
+def under_the_hood() -> None:
+    """The low-level path the session drives for you.
+
+    Each algorithm class can still be used standalone -- it builds its
+    own cluster, validates its own stream, and exposes the same queries.
+    This is the PR-3-era API, kept for single-task tools and tests.
+    """
+    from repro.core import MPCConnectivity
+    from repro.mpc import MPCConfig
+
+    config = MPCConfig(n=64, phi=0.5, seed=0)
     alg = MPCConnectivity(config)
-
-    # Phase 1: one batch builds two separate paths.
-    batch1 = [ins(i, i + 1) for i in range(0, 10)]
-    batch1 += [ins(i, i + 1) for i in range(20, 30)]
-    metrics1 = alg.apply_batch(batch1)
-
-    # Phase 2: bridge them, and add a spare (non-tree) edge.
-    metrics2 = alg.apply_batch([ins(10, 20), ins(0, 30)])
-    assert alg.connected(0, 30)
-
-    # Phase 3: delete the bridge -- the spare edge is recovered from the
-    # AGM sketches and keeps the component together.
-    metrics3 = alg.apply_batch([dele(10, 20)])
-    assert alg.connected(0, 30), "replacement edge reconnects the split"
-
-    print_table(
-        [m.row() for m in (metrics1, metrics2, metrics3)],
-        title="per-phase resources (note: constant rounds per batch)",
-    )
-
-    forest = alg.query_spanning_forest()
-    print(f"spanning forest: {len(forest.edges)} edges, "
-          f"{forest.num_components} components")
-    print(f"total memory: {alg.total_memory_words()} words "
-          f"(~O(n) bound at n={n}: "
-          f"{int(connectivity_total_memory_bound(n))})")
-    print(f"deletion stats: {alg.stats}")
-    print(f"execution backend: {alg.cluster.backend.describe()} "
-          f"(set REPRO_BACKEND=shared_memory for worker processes)")
+    alg.apply_batch([ins(i, i + 1) for i in range(0, 10)])
+    alg.apply_batch([ins(0, 5), dele(3, 4)])  # deletion -> sketch recovery
+    assert alg.connected(0, 10), "the 0-5 edge bridges the split"
+    print_table([m.row() for m in alg.phases],
+                title="standalone connectivity (same numbers, one task)")
+    print(f"execution backend: {alg.cluster.backend.describe()}")
 
 
 if __name__ == "__main__":
     main()
+    under_the_hood()

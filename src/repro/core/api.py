@@ -22,7 +22,11 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import BatchTooLargeError, InvalidUpdateError
+from repro.errors import (
+    BatchTooLargeError,
+    ConfigurationError,
+    InvalidUpdateError,
+)
 from repro.mpc.config import MPCConfig
 from repro.mpc.metrics import PhaseMetrics
 from repro.mpc.simulator import Cluster
@@ -53,25 +57,42 @@ class UpdateValidator:
 
     def check_and_apply(self, batch: Iterable[Update]) -> None:
         """Validate a batch (insertions first, then deletions) and
-        record the post-batch edge set."""
+        record the post-batch edge set.
+
+        Validation is **atomic**: the whole batch is checked against
+        the current state before anything is applied, so a rejected
+        batch leaves the tracked edge set untouched.  This matters for
+        shared validators (:class:`~repro.session.GraphSession`): a
+        partially applied edge set would let later "valid" updates
+        desync the validator from every algorithm's maintained state.
+        """
         if not self.track:
             return
         inserts: List[Update] = []
         deletes: List[Update] = []
         for update in batch:
             (inserts if update.is_insert else deletes).append(update)
+        added: Set[Edge] = set()
         for update in inserts:
-            if update.edge in self._edges:
+            if update.edge in self._edges or update.edge in added:
                 raise InvalidUpdateError(
                     f"insert of existing edge {update.edge}"
                 )
-            self._edges.add(update.edge)
-            self._weights[update.edge] = update.weight
+            added.add(update.edge)
+        removed: Set[Edge] = set()
         for update in deletes:
-            if update.edge not in self._edges:
+            present = (update.edge in self._edges
+                       or update.edge in added)
+            if not present or update.edge in removed:
                 raise InvalidUpdateError(
                     f"delete of missing edge {update.edge}"
                 )
+            removed.add(update.edge)
+        # Nothing below can fail: apply insertions then deletions.
+        for update in inserts:
+            self._edges.add(update.edge)
+            self._weights[update.edge] = update.weight
+        for update in deletes:
             self._edges.discard(update.edge)
             self._weights.pop(update.edge, None)
 
@@ -88,6 +109,28 @@ def _machine_histogram(batch, partition) -> Dict[int, int]:
             if count}
 
 
+def charge_route_updates(cluster: Cluster, batch) -> None:
+    """Charge the Section 1.2 batch-routing step for one phase.
+
+    Route all update requests to a dedicated machine first (a batch
+    fits in one machine's memory, and moving it there is one
+    aggregation tree, O(1/phi) rounds).  Under a parallel execution
+    backend the shards stay on their owning machines, so the words are
+    attributed per machine instead of lumped on the gather root.
+
+    One definition shared by standalone :meth:`BatchDynamicAlgorithm.
+    apply_batch` phases and :class:`~repro.session.GraphSession` (which
+    charges it once per *session* phase, not once per task).
+    """
+    if not len(batch):
+        return
+    per_machine = None
+    if cluster.backend.parallel:
+        per_machine = _machine_histogram(batch, cluster.partition)
+    cluster.charge_gather(len(batch), category="route-updates",
+                          per_machine=per_machine)
+
+
 class BatchDynamicAlgorithm:
     """Base class for phase-structured MPC algorithms.
 
@@ -95,10 +138,51 @@ class BatchDynamicAlgorithm:
     insertions-then-deletions per the paper's w.l.o.g. reduction) and
     :meth:`_register_memory` (refresh the ledger's view of their
     distributed state).
+
+    Session integration
+    -------------------
+    Subclasses that can be driven as one task of a shared
+    :class:`~repro.session.GraphSession` declare registration metadata:
+    a ``task`` key (which also enters the session task registry via
+    ``__init_subclass__``) and, where applicable, ``supports_deletions
+    = False`` for insertion-only theorems.  :meth:`attach` switches a
+    constructed instance into session mode -- shared cluster, shared
+    validator, per-task memory namespacing -- after which validation
+    and the route-updates charge happen once per *session* phase
+    instead of once per algorithm.  :meth:`_members` /
+    :meth:`_sketch_families` expose nested instances and sketch
+    families so checkpoint restore can re-attach execution backends.
     """
 
     #: Human-readable algorithm name for table rows.
     name: str = "batch-dynamic"
+    #: Session-task key; ``None`` means not constructible by task name.
+    task: Optional[str] = None
+    #: Whether the maintained theorem admits deletion updates.
+    supports_deletions: bool = True
+    #: Task name -> class, filled by ``__init_subclass__``.
+    _TASKS: Dict[str, type] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        task = cls.__dict__.get("task")
+        if task:
+            BatchDynamicAlgorithm._TASKS[task] = cls
+
+    @classmethod
+    def task_registry(cls) -> Dict[str, type]:
+        """Registered session tasks (name -> algorithm class)."""
+        return dict(cls._TASKS)
+
+    @classmethod
+    def class_for_task(cls, task: str) -> type:
+        try:
+            return cls._TASKS[task]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown task {task!r}; registered tasks: "
+                f"{sorted(cls._TASKS)}"
+            ) from None
 
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
                  batch_limit: Optional[int] = None, track_edges: bool = True,
@@ -114,6 +198,64 @@ class BatchDynamicAlgorithm:
                             else config.batch_bound)
         self.validator = UpdateValidator(track=track_edges)
         self.phases: List[PhaseMetrics] = []
+        self._attached = False
+        self._memory_ns = ""
+        self._registered: Set[str] = set()
+
+    # -- session integration --------------------------------------------
+    def attach(self, cluster: Cluster, validator: UpdateValidator) -> None:
+        """Register this algorithm against a shared session cluster.
+
+        The instance must have been *constructed on* ``cluster`` (the
+        session passes ``cluster=`` through the constructor; attach
+        only switches modes, it cannot migrate state between clusters).
+        Afterwards:
+
+        * ``validator`` replaces the private one -- the session
+          validates each batch once for all tasks, so
+          :meth:`apply_batch` skips ``check_and_apply``;
+        * the route-updates gather is skipped too (the session charges
+          it once per phase on the shared metrics ledger);
+        * memory registrations are namespaced ``"<name>/"`` so
+          co-resident tasks do not overwrite each other's ledger
+          entries.
+        """
+        if cluster is not self.cluster:
+            raise ConfigurationError(
+                f"{self.name} was not constructed on the shared cluster; "
+                "pass cluster= at construction before attaching"
+            )
+        if self.phases:
+            raise ConfigurationError(
+                f"cannot attach {self.name} after it has processed phases"
+            )
+        for key in self._registered:
+            self.cluster.metrics.release_memory(key)
+        self._registered.clear()
+        self.validator = validator
+        self._attached = True
+        self._memory_ns = f"{self.name}/"
+        self._register_memory()
+        self.cluster.metrics.note_memory_peak()
+
+    def _register(self, name: str, words: int) -> None:
+        """Register a distributed structure's footprint, namespaced per
+        task when attached to a session (see :meth:`attach`)."""
+        key = self._memory_ns + name
+        self._registered.add(key)
+        self.cluster.metrics.register_memory(key, words)
+
+    def _members(self) -> "List[BatchDynamicAlgorithm]":
+        """Nested batch-dynamic instances running on their own private
+        clusters (e.g. bipartiteness's double cover, approximate MSF's
+        weight levels).  Checkpoint restore walks these to rebind
+        backends transitively."""
+        return []
+
+    def _sketch_families(self) -> list:
+        """The sketch families this instance owns directly (not through
+        :meth:`_members`); restore re-attaches each to a backend."""
+        return []
 
     # -- subclass hooks -------------------------------------------------
     def _process_batch(self, inserts: List[Update],
@@ -142,22 +284,15 @@ class BatchDynamicAlgorithm:
         batch = updates if isinstance(updates, Batch) else Batch(updates)
         if len(batch) > self.batch_limit:
             raise BatchTooLargeError(len(batch), self.batch_limit)
-        self.validator.check_and_apply(batch)
+        if not self._attached:
+            # In session mode the shared validator has already applied
+            # this batch and the session charged the routing step --
+            # both happen once per phase, not once per task.
+            self.validator.check_and_apply(batch)
         label = f"{self.name}-phase-{len(self.phases)}"
         self.cluster.begin_phase(label)
-        if len(batch) > 0:
-            # Route all update requests to a dedicated machine first
-            # (Section 1.2: a batch fits in one machine's memory, and
-            # moving it there is one aggregation tree, O(1/phi) rounds).
-            # Under a parallel execution backend the shards stay on
-            # their owning machines, so the words are attributed per
-            # machine instead of lumped on the gather root.
-            per_machine = None
-            if self.cluster.backend.parallel:
-                per_machine = _machine_histogram(batch,
-                                                 self.cluster.partition)
-            self.cluster.charge_gather(len(batch), category="route-updates",
-                                       per_machine=per_machine)
+        if not self._attached:
+            charge_route_updates(self.cluster, batch)
         self._process_batch(batch.insertions, batch.deletions)
         self._register_memory()
         self.cluster.metrics.note_memory_peak()
@@ -178,6 +313,16 @@ class BatchDynamicAlgorithm:
 
     def total_memory_words(self) -> int:
         return self.cluster.metrics.total_memory
+
+    def registered_memory_words(self) -> int:
+        """Words registered by *this* algorithm's own ledger keys.
+
+        On a private cluster this equals :meth:`total_memory_words`;
+        on a shared session cluster the total spans every co-resident
+        task, and this is the one task's share.
+        """
+        breakdown = self.cluster.metrics.memory_breakdown()
+        return sum(breakdown.get(key, 0) for key in self._registered)
 
     def memory_breakdown(self) -> Dict[str, int]:
         return self.cluster.metrics.memory_breakdown()

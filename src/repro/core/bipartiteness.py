@@ -23,11 +23,17 @@ class DynamicBipartiteness(BatchDynamicAlgorithm):
     """Maintains whether the evolving graph is bipartite."""
 
     name = "bipartiteness"
+    task = "bipartiteness"
 
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
-                 batch_limit: Optional[int] = None):
-        super().__init__(config, cluster=cluster, batch_limit=batch_limit)
-        self.base = MPCConnectivity(config, track_edges=False)
+                 batch_limit: Optional[int] = None, backend=None):
+        super().__init__(config, cluster=cluster, batch_limit=batch_limit,
+                         backend=backend)
+        # The two instances run on their own (parallel) machine groups
+        # but inherit this algorithm's execution backend, so one worker
+        # fleet serves the whole reduction.
+        self.base = MPCConnectivity(config, track_edges=False,
+                                    backend=self.cluster.backend)
         double_config = MPCConfig(
             n=2 * config.n,
             phi=config.phi,
@@ -41,7 +47,8 @@ class DynamicBipartiteness(BatchDynamicAlgorithm):
         # The double cover receives two updates per graph update, so its
         # per-phase limit must be twice ours.
         self.cover = MPCConnectivity(double_config, track_edges=False,
-                                     batch_limit=2 * self.batch_limit)
+                                     batch_limit=2 * self.batch_limit,
+                                     backend=self.cluster.backend)
 
     # ------------------------------------------------------------------
     def _cover_updates(self, up: Update) -> List[Update]:
@@ -74,10 +81,8 @@ class DynamicBipartiteness(BatchDynamicAlgorithm):
         return self.base.num_components()
 
     def _register_memory(self) -> None:
-        metrics = self.cluster.metrics
-        metrics.register_memory(
-            "base-instance", self.base.total_memory_words()
-        )
-        metrics.register_memory(
-            "cover-instance", self.cover.total_memory_words()
-        )
+        self._register("base-instance", self.base.total_memory_words())
+        self._register("cover-instance", self.cover.total_memory_words())
+
+    def _members(self) -> List[BatchDynamicAlgorithm]:
+        return [self.base, self.cover]

@@ -39,6 +39,7 @@ class MPCConnectivity(BatchDynamicAlgorithm):
     """Maintains connectivity + spanning forest under batch updates."""
 
     name = "mpc-connectivity"
+    task = "connectivity"
 
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
                  columns: Optional[int] = None,
@@ -348,9 +349,9 @@ class MPCConnectivity(BatchDynamicAlgorithm):
     # Memory accounting
     # ------------------------------------------------------------------
     def _register_memory(self) -> None:
-        metrics = self.cluster.metrics
-        metrics.register_memory(
-            "sketches", self.n * self.family.words_per_vertex
-        )
-        metrics.register_memory("forest", self.forest.words)
-        metrics.register_memory("component-ids", self.components.words)
+        self._register("sketches", self.n * self.family.words_per_vertex)
+        self._register("forest", self.forest.words)
+        self._register("component-ids", self.components.words)
+
+    def _sketch_families(self) -> list:
+        return [self.family]

@@ -125,6 +125,7 @@ class AKLYMatching(BatchDynamicAlgorithm):
     """O(alpha)-approximate maximum matching under dynamic batches."""
 
     name = "matching-akly"
+    task = "matching"
 
     def __init__(self, config: MPCConfig, alpha: float = 4.0,
                  guesses: Optional[List[int]] = None,
@@ -182,4 +183,4 @@ class AKLYMatching(BatchDynamicAlgorithm):
     # ------------------------------------------------------------------
     def _register_memory(self) -> None:
         total = sum(guess.words for guess in self.guesses)
-        self.cluster.metrics.register_memory("sparsifier", total)
+        self._register("sparsifier", total)

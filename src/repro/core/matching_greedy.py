@@ -27,6 +27,8 @@ class GreedyMatchingInsertOnly(BatchDynamicAlgorithm):
     """Bounded greedy matching under insertion-only batches."""
 
     name = "matching-greedy"
+    task = "matching_greedy"
+    supports_deletions = False
 
     def __init__(self, config: MPCConfig, alpha: float = 2.0,
                  cap_constant: float = 1.0,
@@ -72,4 +74,4 @@ class GreedyMatchingInsertOnly(BatchDynamicAlgorithm):
 
     # ------------------------------------------------------------------
     def _register_memory(self) -> None:
-        self.cluster.metrics.register_memory("matching", len(self._mate))
+        self._register("matching", len(self._mate))

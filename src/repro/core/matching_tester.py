@@ -160,6 +160,7 @@ class MatchingSizeEstimator(BatchDynamicAlgorithm):
     """O(alpha)-approximate matching-size estimation (Thms 8.5 / 8.6)."""
 
     name = "matching-size"
+    task = "matching_size"
 
     def __init__(self, config: MPCConfig, alpha: float = 4.0,
                  dynamic: bool = False,
@@ -176,6 +177,9 @@ class MatchingSizeEstimator(BatchDynamicAlgorithm):
             )
         self.alpha = alpha
         self.dynamic = dynamic
+        # Theorem 8.5 (insert-only) vs 8.6 (dynamic): per-instance, so
+        # the session capability check reads the instance attribute.
+        self.supports_deletions = dynamic
         budget = max(1, math.ceil(config.n / alpha ** 2))
         self.testers: List[MatchingTester] = []
         k = 1
@@ -213,4 +217,4 @@ class MatchingSizeEstimator(BatchDynamicAlgorithm):
 
     def _register_memory(self) -> None:
         total = sum(tester.words for tester in self.testers)
-        self.cluster.metrics.register_memory("testers", total)
+        self._register("testers", total)

@@ -37,12 +37,14 @@ class ApproxMSF(BatchDynamicAlgorithm):
     """(1+eps)-approximate MSF / MSF weight under dynamic batches."""
 
     name = "msf-approx"
+    task = "msf_approx"
 
     def __init__(self, config: MPCConfig, eps: float = 0.25,
                  max_weight: float = 1024.0,
                  cluster: Optional[Cluster] = None,
-                 batch_limit: Optional[int] = None):
-        super().__init__(config, cluster=cluster, batch_limit=batch_limit)
+                 batch_limit: Optional[int] = None, backend=None):
+        super().__init__(config, cluster=cluster, batch_limit=batch_limit,
+                         backend=backend)
         if eps <= 0:
             raise ConfigurationError("eps must be positive")
         if max_weight < 1:
@@ -55,7 +57,8 @@ class ApproxMSF(BatchDynamicAlgorithm):
         self.thresholds = [(1 + eps) ** i for i in range(self.num_levels)]
         self.thresholds.append(max((1 + eps) ** self.num_levels, max_weight))
         self.levels: List[MPCConnectivity] = [
-            MPCConnectivity(config, track_edges=False)
+            MPCConnectivity(config, track_edges=False,
+                            backend=self.cluster.backend)
             for _ in range(self.num_levels + 1)
         ]
 
@@ -142,6 +145,8 @@ class ApproxMSF(BatchDynamicAlgorithm):
 
     # ------------------------------------------------------------------
     def _register_memory(self) -> None:
-        metrics = self.cluster.metrics
         total = sum(lvl.total_memory_words() for lvl in self.levels)
-        metrics.register_memory("level-instances", total)
+        self._register("level-instances", total)
+
+    def _members(self) -> List[BatchDynamicAlgorithm]:
+        return list(self.levels)

@@ -35,6 +35,8 @@ class ExactMSFInsertOnly(BatchDynamicAlgorithm):
     """Maintains an exact MSF under batches of weighted insertions."""
 
     name = "msf-exact"
+    task = "msf"
+    supports_deletions = False
 
     def __init__(self, config: MPCConfig, cluster: Optional[Cluster] = None,
                  batch_limit: Optional[int] = None):
@@ -53,6 +55,9 @@ class ExactMSFInsertOnly(BatchDynamicAlgorithm):
 
     def connected(self, u: int, v: int) -> bool:
         return self.components.same(u, v)
+
+    def num_components(self) -> int:
+        return self.forest.num_components()
 
     def msf_weight(self) -> float:
         return float(sum(self._weight.values()))
@@ -173,7 +178,6 @@ class ExactMSFInsertOnly(BatchDynamicAlgorithm):
 
     # ------------------------------------------------------------------
     def _register_memory(self) -> None:
-        metrics = self.cluster.metrics
-        metrics.register_memory("forest", self.forest.words)
-        metrics.register_memory("tree-weights", len(self._weight))
-        metrics.register_memory("component-ids", self.components.words)
+        self._register("forest", self.forest.words)
+        self._register("tree-weights", len(self._weight))
+        self._register("component-ids", self.components.words)

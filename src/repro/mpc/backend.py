@@ -150,6 +150,12 @@ class ExecutionBackend:
     name: str = "abstract"
     parallel: bool = False
     num_workers: int = 1
+    #: True for instances handed out by the process-wide factory cache
+    #: (:func:`get_backend`): many clusters/sessions share them, so
+    #: owner-style teardown (``Cluster.close``, ``GraphSession.close``)
+    #: leaves them running by default.  Privately constructed instances
+    #: stay False and are closed deterministically by their owner.
+    cached: bool = False
 
     def __init__(self) -> None:
         self.last_split: Dict[int, int] = {}
@@ -186,6 +192,15 @@ class ExecutionBackend:
 
     def close(self) -> None:
         """Release workers / shared segments (no-op when in-process)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Deterministic teardown: ``with SharedMemoryBackend(...) as
+        backend`` shuts the worker fleet down on scope exit instead of
+        waiting for GC / atexit finalizers."""
+        self.close()
 
     @property
     def usable(self) -> bool:
@@ -687,6 +702,7 @@ class SharedMemoryBackend(ExecutionBackend):
 # ---------------------------------------------------------------------------
 
 _SEQUENTIAL_SINGLETON = SequentialBackend()
+_SEQUENTIAL_SINGLETON.cached = True
 _SHARED_CACHE: Dict[int, SharedMemoryBackend] = {}
 _ALL_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
 
@@ -720,6 +736,7 @@ def get_backend(name: Optional[str] = None,
     backend = _SHARED_CACHE.get(count)
     if backend is None or not backend.usable:
         backend = SharedMemoryBackend(num_workers=count)
+        backend.cached = True
         _SHARED_CACHE[count] = backend
     return backend
 

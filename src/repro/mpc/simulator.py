@@ -77,11 +77,89 @@ class Cluster:
         ]
         self.metrics = ClusterMetrics()
         self.rng = np.random.default_rng(config.seed)
-        self.backend: ExecutionBackend = resolve_backend(
-            backend if backend is not None else config.backend,
-            config.backend_workers,
+        self._backend_spec = (backend if backend is not None
+                              else config.backend)
+        self._backend: Optional[ExecutionBackend] = resolve_backend(
+            self._backend_spec, config.backend_workers
         )
         self._partition: Optional[VertexPartition] = None
+
+    # ------------------------------------------------------------------
+    # Backend / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend, resolved lazily after unpickling."""
+        if self._backend is None:
+            self._backend = resolve_backend(self._backend_spec,
+                                            self.config.backend_workers)
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: ExecutionBackend) -> None:
+        self._backend = value
+
+    def rebind_backend(self, backend=None,
+                       workers: Optional[int] = None) -> None:
+        """Point this cluster at a live execution backend.
+
+        Checkpoint restore uses this before any backend work happens:
+        with no arguments the cluster re-resolves its original spec
+        (name / env default); a name or instance overrides it.
+        """
+        if backend is not None:
+            self._backend_spec = backend
+        self._backend = resolve_backend(
+            self._backend_spec,
+            workers if workers is not None else self.config.backend_workers,
+        )
+
+    def reseed(self) -> None:
+        """Reset the construction-randomness stream to the config seed.
+
+        A fresh cluster starts its generator at ``config.seed``; a
+        :class:`~repro.session.GraphSession` reseeds before constructing
+        each member algorithm so every member draws *exactly* the
+        randomness its standalone instance (own cluster, same config)
+        would -- the parity guarantee the session tests pin down.
+        """
+        self.rng = np.random.default_rng(self.config.seed)
+
+    def close(self, close_backend: Optional[bool] = None) -> None:
+        """Shut down the execution backend deterministically.
+
+        Releases the worker fleet (and its shared-memory segments) now
+        instead of at GC / interpreter exit.  By default only a
+        *privately owned* backend is closed: factory-cached backends
+        (``backend.cached``) are shared by every cluster in the
+        process, so killing one out from under the others is opt-in
+        (``close_backend=True``; the factory re-creates a fleet on the
+        next request).  In-process backends make this a no-op.
+        """
+        if self._backend is None:
+            return
+        if close_backend is None:
+            close_backend = not self._backend.cached
+        if close_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __getstate__(self):
+        """Checkpoint without the backend: worker fleets, pipes, and
+        shared-memory handles are process-local.  The spec (a name) is
+        kept so the restored cluster can lazily re-resolve; an instance
+        spec degrades to its name."""
+        state = self.__dict__.copy()
+        state["_backend"] = None
+        spec = state.get("_backend_spec")
+        if isinstance(spec, ExecutionBackend):
+            state["_backend_spec"] = spec.name
+        return state
 
     # ------------------------------------------------------------------
     # Geometry helpers

@@ -1,0 +1,19 @@
+"""Unified serving layer: many maintained algorithms, one stream.
+
+:class:`GraphSession` is the package's front door for multi-algorithm
+deployments -- one cluster, one execution backend, one stream
+validator, uniform ingestion/query surfaces, deterministic teardown,
+and checkpoint/restore.  See :mod:`repro.session.graph_session`.
+"""
+
+from repro.session.graph_session import (
+    CHECKPOINT_FORMAT,
+    GraphSession,
+    SessionPhase,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "GraphSession",
+    "SessionPhase",
+]

@@ -28,6 +28,10 @@ path (``tests/test_bulk_query.py``); throughput tracked by EXP-13 in
 ``benchmarks/test_exp12_ingest_throughput.py``.
 """
 
+# Exception classes live in :mod:`repro.errors` (the one hierarchy all
+# layers share); re-exported here because the sketching layer raises
+# them and callers historically imported them from ``repro.sketch``.
+from repro.errors import SketchError, SketchFailureError
 from repro.sketch.edge_coding import (
     decode_index,
     decode_indices,
@@ -70,6 +74,8 @@ from repro.sketch.sparse_recovery import (
 )
 
 __all__ = [
+    "SketchError",
+    "SketchFailureError",
     "decode_index",
     "decode_indices",
     "edge_sign",

@@ -53,6 +53,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import SketchError
 from repro.sketch.edge_coding import (
     decode_index,
     decode_indices,
@@ -85,25 +86,67 @@ class SketchFamily:
                  backend=None):
         if n < 2:
             raise ValueError("need at least two vertices")
+        self.n = n
+        self.columns = columns
+        self.universe = num_pairs(n)
+        self.randomness = SamplerRandomness(self.universe, columns, rng)
+        self.pool = RecoveryPool(n, columns, self.randomness.levels)
+        self.backend = None
+        self._pool_handle = None
+        self._detach = None
+        self.attach_backend(backend)
+
+    # -- backend lifecycle ----------------------------------------------
+    def attach_backend(self, backend=None) -> None:
+        """Register this family's pool with an execution backend.
+
+        Called by ``__init__`` (before any vertex sketch views exist)
+        and by checkpoint restore (:mod:`repro.session`), where views
+        *do* already exist -- ``adopt_buffer`` re-points them if the
+        backend moves the cell block into shared memory.  A detach
+        finalizer releases worker mappings and segments when the family
+        goes away; :meth:`detach_backend` runs it deterministically.
+        """
         # Lazy import: repro.mpc.backend imports the sketch layer for
         # its worker-side math, so the dependency must not be circular
         # at module level.
         from repro.mpc.backend import resolve_backend
 
-        self.n = n
-        self.columns = columns
-        self.universe = num_pairs(n)
-        self.randomness = SamplerRandomness(self.universe, columns, rng)
+        if self._pool_handle is not None:
+            raise SketchError("sketch family is already attached to a "
+                              "backend; detach_backend() first")
         self.backend = resolve_backend(backend)
-        self.pool = RecoveryPool(n, columns, self.randomness.levels)
-        # Attach before any vertex sketch views exist (adopt_buffer may
-        # move the cell block into shared memory); detach when the
-        # family goes away so worker mappings and segments are released.
         self._pool_handle = self.backend.attach_pool(self.pool,
                                                      self.randomness)
         self._detach = weakref.finalize(
             self, self.backend.detach_pool, self._pool_handle
         )
+
+    def detach_backend(self) -> None:
+        """Release the backend registration now (idempotent).
+
+        Deterministic counterpart of the GC finalizer: worker-side pool
+        mappings and shared-memory segments are released immediately.
+        The family keeps its cell contents (existing views stay
+        readable) but must be re-attached before any further routed
+        bulk work.  Used by ``GraphSession.close()``.
+        """
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+            self._pool_handle = None
+
+    # -- checkpointing ---------------------------------------------------
+    def __getstate__(self):
+        """Drop the backend registration: handles, finalizers, and
+        worker fleets are process-local.  A restored family is inert
+        until :meth:`attach_backend` is called (checkpoint restore does
+        this after choosing the target backend)."""
+        state = self.__dict__.copy()
+        state["backend"] = None
+        state["_pool_handle"] = None
+        state["_detach"] = None
+        return state
 
     @property
     def levels(self) -> int:

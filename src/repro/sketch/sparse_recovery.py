@@ -59,6 +59,7 @@ configuration we run), limbs as above.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -223,7 +224,7 @@ class RecoveryMatrix:
 
     __slots__ = ("columns", "levels", "cells", "_f_mass", "_pool",
                  "_pool_slot", "_cell_base", "_q_offsets", "_flat_cells",
-                 "_scratch_vals")
+                 "_scratch_vals", "__weakref__")
 
     def __init__(self, columns: int, levels: int):
         if columns < 1 or levels < 1:
@@ -339,6 +340,24 @@ class RecoveryMatrix:
         dup._rebind_cells(self.cells.copy())
         dup._f_mass = self._mass
         return dup
+
+    def __reduce__(self):
+        """Checkpoint-safe pickling (see :mod:`repro.session`).
+
+        A pool-backed view must *stay* a view: pickling its cell array
+        directly would detach it from the pool (numpy does not preserve
+        aliasing across pickle), silently forking the sketch state.  A
+        view therefore serialises as ``(pool, slot)`` -- the pickle memo
+        keeps one shared pool instance -- and a standalone matrix as its
+        own cell copy.
+        """
+        if self._pool is not None:
+            return (_restore_pool_view, (self._pool, self._pool_slot))
+        return (
+            _restore_standalone_matrix,
+            (self.columns, self.levels, np.asarray(self.cells),
+             self._f_mass),
+        )
 
     @staticmethod
     def sum_of(matrices: "list[RecoveryMatrix]",
@@ -504,6 +523,21 @@ class RecoveryMatrix:
         )
 
 
+def _restore_pool_view(pool: "RecoveryPool", slot: int) -> RecoveryMatrix:
+    """Pickle hook for pool-backed :class:`RecoveryMatrix` views."""
+    return pool.matrix(slot)
+
+
+def _restore_standalone_matrix(columns: int, levels: int,
+                               cells: np.ndarray,
+                               mass: int) -> RecoveryMatrix:
+    """Pickle hook for standalone :class:`RecoveryMatrix` instances."""
+    matrix = RecoveryMatrix(columns, levels)
+    matrix.cells[...] = cells
+    matrix._f_mass = mass
+    return matrix
+
+
 class RecoveryPool:
     """Stacked recovery cells for a whole family of matrices.
 
@@ -517,7 +551,7 @@ class RecoveryPool:
     """
 
     __slots__ = ("count", "columns", "levels", "cells", "f_mass",
-                 "row_mass", "_flat",
+                 "row_mass", "_flat", "_views",
                  "_view_cell_base", "_view_q_offsets", "_view_scratch")
 
     def __init__(self, count: int, columns: int, levels: int):
@@ -536,6 +570,11 @@ class RecoveryPool:
         self.f_mass = 0
         self.row_mass = np.zeros(count, dtype=np.int64)
         self._flat = self.cells.reshape(-1)
+        #: Live view-backed matrices handed out by :meth:`matrix`, kept
+        #: as weakrefs so :meth:`adopt_buffer` can re-point them when
+        #: the cell block moves (backend attach after a checkpoint
+        #: restore hands views out before the buffer is adopted).
+        self._views: List["weakref.ref[RecoveryMatrix]"] = []
         # Index helpers shared by every view this pool hands out (the
         # bulk scatter itself lives in :func:`pool_scatter`).
         self._view_cell_base = np.arange(columns, dtype=np.int64) * levels
@@ -566,11 +605,9 @@ class RecoveryPool:
         The execution backends use this to place the cell block in
         ``multiprocessing.shared_memory`` so worker processes can
         scatter into their row shards directly.  Current contents are
-        preserved.  Must be called before any :meth:`matrix` views are
-        handed out -- existing views keep pointing at the old block
-        (the :class:`~repro.sketch.graph_sketch.SketchFamily`
-        constructor attaches its pool before creating vertex sketches,
-        which guarantees the ordering).
+        preserved, and any live :meth:`matrix` views are re-pointed at
+        the new block (a checkpoint restore hands out views before the
+        restored family re-attaches to a backend).
         """
         if cells.shape != self.cells.shape or cells.dtype != np.int64:
             raise ValueError(
@@ -580,6 +617,14 @@ class RecoveryPool:
         cells[...] = self.cells
         self.cells = cells
         self._flat = cells.reshape(-1)
+        live: List["weakref.ref[RecoveryMatrix]"] = []
+        for ref in self._views:
+            view = ref()
+            if view is None:
+                continue
+            view._rebind_cells(self.cells[view._pool_slot])
+            live.append(ref)
+        self._views = live
 
     def matrix(self, slot: int) -> RecoveryMatrix:
         """A view-backed matrix over row ``slot`` of the pool.
@@ -605,7 +650,28 @@ class RecoveryPool:
         view._q_offsets = self._view_q_offsets
         view._scratch_vals = self._view_scratch
         view._rebind_cells(self.cells[slot])
+        self._views.append(weakref.ref(view))
         return view
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle as pure values: a private copy of the cell block plus
+        the mass counters.  The flat view, the view registry, and any
+        shared-memory placement are reconstruction artifacts -- a
+        restored pool always starts with a private buffer and is moved
+        back into shared memory by the backend re-attach, if any."""
+        return (self.count, self.columns, self.levels,
+                np.asarray(self.cells).copy(), self.f_mass,
+                self.row_mass.copy())
+
+    def __setstate__(self, state) -> None:
+        count, columns, levels, cells, f_mass, row_mass = state
+        self.__init__(count, columns, levels)
+        self.cells[...] = cells
+        self.f_mass = f_mass
+        self.row_mass[...] = row_mass
 
     # ------------------------------------------------------------------
     def bump_mass(self, amount: int) -> None:

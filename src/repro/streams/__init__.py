@@ -1,6 +1,6 @@
 """Dynamic graph stream generators, batching, and named workloads."""
 
-from repro.streams.batching import as_batches, singleton_batches
+from repro.streams.batching import as_batches, iter_batches, singleton_batches
 from repro.streams.generators import (
     ChurnStream,
     SplitMergeStream,
@@ -17,6 +17,7 @@ from repro.streams.generators import (
 
 __all__ = [
     "as_batches",
+    "iter_batches",
     "singleton_batches",
     "ChurnStream",
     "SplitMergeStream",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 from repro.types import Batch, Update
 
@@ -19,6 +19,38 @@ def as_batches(updates: Sequence[Update], batch_size: int) -> List[Batch]:
         Batch(updates[i:i + batch_size])
         for i in range(0, len(updates), batch_size)
     ]
+
+
+def iter_batches(updates: Iterable[Update],
+                 batch_size: int) -> Iterator[Batch]:
+    """Lazy, generator flavour of :func:`as_batches`.
+
+    Consumes ``updates`` incrementally -- the source may be an unbounded
+    generator -- and yields full :class:`Batch` objects of exactly
+    ``batch_size`` updates (the final batch may be shorter).  Stream
+    order is preserved: concatenating the yielded batches reproduces the
+    input sequence exactly, so the phase-by-phase graph evolution
+    matches the single-update stream.  At most one batch of updates is
+    buffered at a time, which is what lets
+    :meth:`repro.session.GraphSession.ingest` accept lazy iterables
+    without materialising them.
+    """
+    # Validate eagerly (a generator body would defer the error to the
+    # first ``next``, far from the buggy call site).
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+
+    def batches() -> Iterator[Batch]:
+        buffer: List[Update] = []
+        for update in updates:
+            buffer.append(update)
+            if len(buffer) == batch_size:
+                yield Batch(buffer)
+                buffer = []
+        if buffer:
+            yield Batch(buffer)
+
+    return batches()
 
 
 def singleton_batches(updates: Sequence[Update]) -> List[Batch]:

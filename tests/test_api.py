@@ -40,6 +40,20 @@ class TestUpdateValidator:
         with pytest.raises(InvalidUpdateError):
             validator.check_and_apply([dele(0, 1), ins(0, 1)])
 
+    def test_rejected_batch_is_atomic(self):
+        """A rejected batch must leave the edge set untouched -- a
+        partial application would desync a shared (session) validator
+        from the algorithms' maintained state."""
+        validator = UpdateValidator()
+        validator.check_and_apply([ins(0, 1)])
+        with pytest.raises(InvalidUpdateError):
+            # (2, 3) is valid but precedes the duplicate in the batch.
+            validator.check_and_apply([ins(2, 3), ins(0, 1)])
+        assert validator.edges() == {(0, 1)}
+        with pytest.raises(InvalidUpdateError):
+            validator.check_and_apply([ins(4, 5), dele(2, 3)])
+        assert validator.edges() == {(0, 1)}
+
     def test_tracks_weights(self):
         validator = UpdateValidator()
         validator.check_and_apply([ins(0, 1, weight=4.0)])

@@ -1,0 +1,596 @@
+"""GraphSession: shared-cluster multiplexing, parity, checkpoints.
+
+The contracts under test (ISSUE 4 acceptance):
+
+* one ``Cluster`` / execution backend / validator serves every task,
+  with validation and the route-updates charge once per session phase;
+* per-task answers are **bit-identical** to the standalone algorithm
+  classes fed the same batches, on both execution backends;
+* ``checkpoint`` -> ``restore`` round-trips to identical query answers
+  and identical continuation;
+* ``close()`` tears the backend down deterministically (workers gone
+  when it returns, not at GC time).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import GraphSession, dele, ins
+from repro.core import (
+    DynamicBipartiteness,
+    ExactMSFInsertOnly,
+    MPCConnectivity,
+)
+from repro.core.api import BatchDynamicAlgorithm
+from repro.errors import (
+    BatchTooLargeError,
+    ConfigurationError,
+    InvalidUpdateError,
+    QueryError,
+)
+from repro.mpc import MPCConfig, SharedMemoryBackend, get_backend
+from repro.streams import as_batches
+
+N = 48
+WORKERS = 2
+PARITY_TASKS = ("connectivity", "msf", "bipartiteness")
+
+
+@pytest.fixture(scope="module")
+def shared_backend():
+    """The process-wide 2-worker fleet (same cache test_backend uses)."""
+    return get_backend("shared_memory", workers=WORKERS)
+
+
+def _config(backend: str, seed: int = 3, n: int = N) -> MPCConfig:
+    workers = WORKERS if backend == "shared_memory" else None
+    return MPCConfig(n=n, seed=seed, backend=backend,
+                     backend_workers=workers)
+
+
+def _insert_stream(n: int = N):
+    """Weighted insertion-only stream (msf-compatible), two components
+    merged late plus a non-tree spare."""
+    ups = [ins(i, i + 1, float(i % 7 + 1)) for i in range(0, 12)]
+    ups += [ins(i, i + 1, float(i % 5 + 1)) for i in range(20, 30)]
+    ups += [ins(12, 20, 2.0), ins(0, 30, 9.0), ins(1, 29, 1.0)]
+    return ups
+
+
+def _churn_stream():
+    """Insertions then deletions that force AGM replacement recovery."""
+    ups = [ins(i, i + 1) for i in range(0, 14)]
+    ups += [ins(0, 7), ins(3, 11), ins(20, 21), ins(21, 22), ins(20, 22)]
+    ups += [dele(5, 6), dele(0, 1), dele(21, 22), dele(3, 4)]
+    ups += [ins(40, 41), dele(9, 10)]
+    return ups
+
+
+# ---------------------------------------------------------------------------
+# Shared-substrate structure
+# ---------------------------------------------------------------------------
+
+class TestSharedSubstrate:
+    def test_one_cluster_one_validator(self):
+        with GraphSession(N, tasks=PARITY_TASKS,
+                          config=_config("sequential")) as session:
+            algs = [session.query(task) for task in PARITY_TASKS]
+            assert len(algs) == 3
+            for alg in algs:
+                assert alg.cluster is session.cluster
+                assert alg.validator is session.validator
+                assert alg._attached
+
+    def test_validation_and_routing_once_per_phase(self):
+        with GraphSession(N, tasks=PARITY_TASKS,
+                          config=_config("sequential")) as session:
+            phases = session.ingest(_insert_stream(), batch_size=8)
+            assert phases and all(p.batch_size for p in phases)
+            for phase in phases:
+                # The routing gather is charged once, on the session's
+                # own phase record ...
+                assert phase.route.rounds_by_category.get(
+                    "route-updates", 0) > 0
+                # ... and never again inside any task's phase.
+                for snap in phase.per_task.values():
+                    assert "route-updates" not in snap.rounds_by_category
+            # A valid shared stream: per-task validation would have
+            # rejected every post-first-task insert as a duplicate, so
+            # reaching here with the right edge count is the proof.
+            assert session.num_edges == len(_insert_stream())
+
+    def test_memory_ledger_namespaced_per_task(self):
+        with GraphSession(N, tasks=("connectivity", "msf"),
+                          config=_config("sequential")) as session:
+            session.ingest(_insert_stream(), batch_size=8)
+            breakdown = session.cluster.metrics.memory_breakdown()
+            # Both tasks register a "forest"; namespacing keeps them
+            # from overwriting each other on the shared ledger.
+            assert "mpc-connectivity/forest" in breakdown
+            assert "msf-exact/forest" in breakdown
+            assert "forest" not in breakdown
+
+    def test_unknown_and_duplicate_tasks_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown task"):
+            GraphSession(N, tasks=("connectivity", "nope"),
+                         config=_config("sequential"))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            GraphSession(N, tasks=("msf", "msf"),
+                         config=_config("sequential"))
+        with pytest.raises(ConfigurationError, match="at least one"):
+            GraphSession(N, tasks=(), config=_config("sequential"))
+
+    def test_attach_requires_shared_cluster(self):
+        session = GraphSession(N, config=_config("sequential"))
+        stray = MPCConnectivity(_config("sequential"))
+        with pytest.raises(ConfigurationError, match="shared cluster"):
+            stray.attach(session.cluster, session.validator)
+        session.close()
+
+    def test_task_registry_covers_all_maintained_algorithms(self):
+        registry = BatchDynamicAlgorithm.task_registry()
+        for task in ("connectivity", "msf", "msf_approx", "bipartiteness",
+                     "matching", "matching_greedy", "matching_size"):
+            assert task in registry
+
+    def test_task_options(self):
+        with GraphSession(
+            N, tasks={"msf_approx": {"eps": 0.5, "max_weight": 64.0}},
+            config=_config("sequential"),
+        ) as session:
+            assert session.query("msf_approx").eps == 0.5
+
+    def test_tasks_accepts_one_shot_iterator(self):
+        with GraphSession(N, tasks=iter(["connectivity", "msf"]),
+                          config=_config("sequential")) as session:
+            assert session.tasks == ["connectivity", "msf"]
+
+    def test_tasks_accepts_bare_string(self):
+        with GraphSession(N, tasks="connectivity",
+                          config=_config("sequential")) as session:
+            assert session.tasks == ["connectivity"]
+
+    def test_rejected_batch_leaves_state_untouched(self):
+        with GraphSession(N, tasks=("connectivity", "bipartiteness"),
+                          config=_config("sequential")) as session:
+            session.ingest([(0, 1)])
+            # (2, 3) is fresh but rides in a batch with a duplicate
+            # insert: atomic validation must not admit it.
+            with pytest.raises(InvalidUpdateError, match="existing"):
+                session.apply_batch([ins(2, 3), ins(0, 1)])
+            assert session.edges() == {(0, 1)}
+            with pytest.raises(InvalidUpdateError, match="missing"):
+                session.apply_batch([dele(2, 3)])
+            # The session stays consistent and keeps serving.
+            session.ingest([(2, 3)])
+            assert session.connected(2, 3)
+            assert session.num_edges == 2
+
+    def test_backend_workers_honoured_with_explicit_config(
+            self, shared_backend):
+        # backend_workers must take effect even when config= is given.
+        session = GraphSession(config=_config("sequential"),
+                               backend="shared_memory",
+                               backend_workers=WORKERS)
+        assert session.cluster.backend is shared_backend
+        assert session.cluster.backend.num_workers == WORKERS
+        session.close(close_backend=False)
+
+    def test_mid_phase_task_failure_marks_session_inconsistent(self):
+        session = GraphSession(N, tasks=("connectivity", "bipartiteness"),
+                               config=_config("sequential"))
+        session.ingest([(0, 1)])
+
+        def boom(batch):
+            raise RuntimeError("boom")
+
+        session.query("bipartiteness").apply_batch = boom
+        with pytest.raises(RuntimeError, match="boom"):
+            session.apply_batch([(1, 2)])
+        # Tasks now sit at different stream positions: everything but
+        # close() refuses to touch the inconsistent state.
+        with pytest.raises(QueryError, match="inconsistent"):
+            session.ingest([(2, 3)])
+        with pytest.raises(QueryError, match="inconsistent"):
+            session.spanning_forest()
+        with pytest.raises(QueryError, match="inconsistent"):
+            session.query("connectivity")
+        with pytest.raises(QueryError, match="inconsistent"):
+            session.checkpoint("/dev/null")
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# Ingestion surface
+# ---------------------------------------------------------------------------
+
+class TestIngestion:
+    def test_accepts_pairs_triples_updates_and_generators(self):
+        with GraphSession(N, tasks=("connectivity", "msf"),
+                          config=_config("sequential")) as session:
+            session.ingest([(0, 1), (1, 2, 5.0), ins(2, 3, 7.0)])
+            assert session.num_edges == 3
+            assert session.connected(0, 3)
+
+            def lazy():
+                for i in range(10, 20):
+                    yield (i, i + 1)
+
+            phases = session.ingest(lazy(), batch_size=4)
+            assert [p.batch_size for p in phases] == [4, 4, 2]
+            assert session.num_edges == 13
+
+    def test_generator_consumed_lazily_in_stream_order(self):
+        consumed = []
+
+        def stream():
+            for i in range(9):
+                consumed.append(i)
+                yield (i, i + 1)
+
+        with GraphSession(N, config=_config("sequential")) as session:
+            it = iter(stream())
+            phases = session.ingest(it, batch_size=4)
+            # Order preserved: edge (i, i+1) entered phase i // 4.
+            assert [p.batch_size for p in phases] == [4, 4, 1]
+            assert consumed == list(range(9))
+            assert session.connected(0, 9)
+
+    def test_batch_bound_enforced(self):
+        config = _config("sequential")
+        with GraphSession(N, config=config) as session:
+            too_many = [(i, i + 1) for i in range(session.batch_size + 1)]
+            with pytest.raises(BatchTooLargeError):
+                session.apply_batch(too_many)
+            with pytest.raises(ConfigurationError):
+                session.ingest(too_many, batch_size=session.batch_size + 1)
+            # ingest() splits the same stream fine.
+            session.ingest(too_many)
+
+    def test_insert_only_task_rejects_deletions_before_any_state_change(self):
+        with GraphSession(N, tasks=("connectivity", "msf"),
+                          config=_config("sequential")) as session:
+            session.ingest([(0, 1), (1, 2)])
+            edges_before = session.edges()
+            phases_before = len(session.phases)
+            with pytest.raises(InvalidUpdateError, match="insertion-only"):
+                session.apply_batch([dele(0, 1)])
+            # The guard fired before the validator or any task ran.
+            assert session.edges() == edges_before
+            assert len(session.phases) == phases_before
+            assert len(session.query("connectivity").phases) == phases_before
+
+    def test_invalid_item_rejected(self):
+        with GraphSession(N, config=_config("sequential")) as session:
+            with pytest.raises(InvalidUpdateError):
+                session.apply_batch(["nonsense"])
+
+
+# ---------------------------------------------------------------------------
+# Query surface + reporting
+# ---------------------------------------------------------------------------
+
+class TestQueriesAndReport:
+    def test_absent_tasks_raise_query_error(self):
+        with GraphSession(N, tasks=("msf",),
+                          config=_config("sequential")) as session:
+            with pytest.raises(QueryError, match="not maintained"):
+                session.query("bipartiteness")
+            with pytest.raises(QueryError):
+                session.is_bipartite()
+            with pytest.raises(QueryError):
+                session.matching()
+            # msf still answers connectivity-style queries.
+            session.ingest([(0, 1, 2.0)])
+            assert session.connected(0, 1)
+            assert session.msf_weight() == 2.0
+            assert session.num_components() == N - 1
+            assert len(session.spanning_forest().edges) == 1
+
+    def test_report_feeds_tables(self):
+        with GraphSession(N, tasks=PARITY_TASKS,
+                          config=_config("sequential")) as session:
+            session.ingest(_insert_stream(), batch_size=8)
+            rows = session.report()
+            tasks_seen = {row["task"] for row in rows}
+            assert tasks_seen == {"(route)", *PARITY_TASKS}
+            per_phase = [r for r in rows if r["task"] == "connectivity"]
+            assert len(per_phase) == len(session.phases)
+            text = session.report_table()
+            assert "connectivity" in text and "rounds" in text
+
+    def test_summary_records_backend(self):
+        with GraphSession(N, tasks=("connectivity",),
+                          config=_config("sequential")) as session:
+            rows = session.summary()
+            assert rows[0]["backend"] == session.cluster.backend.describe()
+            assert rows[0]["task"] == "connectivity"
+
+    def test_summary_memory_is_per_task_share(self):
+        with GraphSession(N, tasks=("connectivity", "msf"),
+                          config=_config("sequential")) as session:
+            session.ingest([(i, i + 1, 1.0) for i in range(8)])
+            by_task = {row["task"]: row["memory_words"]
+                       for row in session.summary()}
+            # The shares partition the shared ledger instead of each
+            # row repeating the whole-cluster total.
+            assert (sum(by_task.values())
+                    == session.cluster.metrics.total_memory)
+            # Sketchless MSF is orders of magnitude below connectivity.
+            assert by_task["msf"] < by_task["connectivity"]
+
+    def test_session_phase_rounds_parallel_composition(self):
+        with GraphSession(N, tasks=PARITY_TASKS,
+                          config=_config("sequential")) as session:
+            (phase,) = session.ingest([(0, 1, 1.0)])
+            worst = max(m.rounds for m in phase.per_task.values())
+            assert phase.rounds == phase.route.rounds + worst
+
+
+# ---------------------------------------------------------------------------
+# Parity matrix: session answers == standalone answers, both backends
+# ---------------------------------------------------------------------------
+
+def _standalone_answers(config: MPCConfig, batches):
+    conn = MPCConnectivity(config)
+    msf = ExactMSFInsertOnly(config)
+    bip = DynamicBipartiteness(config)
+    for batch in batches:
+        conn.apply_batch(batch)
+        msf.apply_batch(batch)
+        bip.apply_batch(batch)
+    return {
+        "forest": conn.query_spanning_forest().edges,
+        "components": conn.num_components(),
+        "msf_edges": msf.query_msf().edges,
+        "msf_weight": msf.msf_weight(),
+        "bipartite": bip.is_bipartite(),
+        "cells": conn.family.pool.cells.copy(),
+    }
+
+
+class TestParityMatrix:
+    @pytest.mark.parametrize("backend", ["sequential", "shared_memory"])
+    def test_insert_only_matrix(self, backend, shared_backend):
+        config = _config(backend)
+        stream = _insert_stream()
+        reference = _standalone_answers(config, as_batches(stream, 8))
+
+        session = GraphSession(N, tasks=PARITY_TASKS, config=config)
+        session.ingest(iter(stream), batch_size=8)
+        try:
+            assert (session.spanning_forest().edges
+                    == reference["forest"])
+            assert session.num_components() == reference["components"]
+            msf = session.query("msf").query_msf()
+            assert msf.edges == reference["msf_edges"]
+            assert session.msf_weight() == reference["msf_weight"]
+            assert session.is_bipartite() == reference["bipartite"]
+            # Bit-identical sketch state, not merely equal answers.
+            assert np.array_equal(
+                session.query("connectivity").family.pool.cells,
+                reference["cells"],
+            )
+        finally:
+            session.close(close_backend=False)
+
+    @pytest.mark.parametrize("backend", ["sequential", "shared_memory"])
+    def test_deletion_churn_matrix(self, backend, shared_backend):
+        config = _config(backend, seed=11)
+        stream = _churn_stream()
+        conn = MPCConnectivity(config)
+        bip = DynamicBipartiteness(config)
+        for batch in as_batches(stream, 6):
+            conn.apply_batch(batch)
+            bip.apply_batch(batch)
+
+        session = GraphSession(N, tasks=("connectivity", "bipartiteness"),
+                               config=config)
+        session.ingest(stream, batch_size=6)
+        try:
+            assert (session.spanning_forest().edges
+                    == conn.query_spanning_forest().edges)
+            assert session.num_components() == conn.num_components()
+            assert session.is_bipartite() == bip.is_bipartite()
+            assert (session.query("connectivity").stats
+                    == conn.stats)
+            assert np.array_equal(
+                session.query("connectivity").family.pool.cells,
+                conn.family.pool.cells,
+            )
+        finally:
+            session.close(close_backend=False)
+
+    def test_backends_agree_with_each_other(self, shared_backend):
+        answers = {}
+        for backend in ("sequential", "shared_memory"):
+            session = GraphSession(N, tasks=("connectivity",),
+                                   config=_config(backend, seed=11))
+            session.ingest(_churn_stream(), batch_size=6)
+            answers[backend] = session.spanning_forest().edges
+            session.close(close_backend=False)
+        assert answers["sequential"] == answers["shared_memory"]
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore
+# ---------------------------------------------------------------------------
+
+class TestCheckpointRestore:
+    def test_round_trip_answers_identical(self, tmp_path):
+        stream = _insert_stream()
+        session = GraphSession(N, tasks=PARITY_TASKS,
+                               config=_config("sequential"))
+        session.ingest(stream, batch_size=8)
+        path = os.fspath(tmp_path / "session.ckpt")
+        session.checkpoint(path)
+
+        restored = GraphSession.restore(path)
+        assert restored.tasks == session.tasks
+        assert restored.num_edges == session.num_edges
+        assert (restored.spanning_forest().edges
+                == session.spanning_forest().edges)
+        assert restored.msf_weight() == session.msf_weight()
+        assert restored.is_bipartite() == session.is_bipartite()
+        assert np.array_equal(
+            restored.query("connectivity").family.pool.cells,
+            session.query("connectivity").family.pool.cells,
+        )
+        assert len(restored.phases) == len(session.phases)
+        session.close()
+        restored.close()
+
+    def test_continuation_matches_uninterrupted_run(self, tmp_path):
+        config = _config("sequential", seed=11)
+        part1 = _churn_stream()[:15]
+        part2 = _churn_stream()[15:]
+
+        uninterrupted = GraphSession(
+            N, tasks=("connectivity", "bipartiteness"), config=config)
+        uninterrupted.ingest(part1, batch_size=6)
+        uninterrupted.ingest(part2, batch_size=6)
+
+        session = GraphSession(
+            N, tasks=("connectivity", "bipartiteness"), config=config)
+        session.ingest(part1, batch_size=6)
+        path = os.fspath(tmp_path / "mid.ckpt")
+        session.checkpoint(path)
+        restored = GraphSession.restore(path)
+        restored.ingest(part2, batch_size=6)
+
+        assert (restored.spanning_forest().edges
+                == uninterrupted.spanning_forest().edges)
+        assert (restored.is_bipartite()
+                == uninterrupted.is_bipartite())
+        assert np.array_equal(
+            restored.query("connectivity").family.pool.cells,
+            uninterrupted.query("connectivity").family.pool.cells,
+        )
+        session.close()
+        restored.close()
+        uninterrupted.close()
+
+    def test_cross_backend_restore(self, tmp_path, shared_backend):
+        """Checkpoint under shared_memory, restore onto sequential."""
+        config = _config("shared_memory", seed=11)
+        session = GraphSession(N, tasks=("connectivity",), config=config)
+        session.ingest(_churn_stream(), batch_size=6)
+        path = os.fspath(tmp_path / "shm.ckpt")
+        session.checkpoint(path)
+
+        restored = GraphSession.restore(path, backend="sequential")
+        assert not restored.cluster.backend.parallel
+        assert (restored.spanning_forest().edges
+                == session.spanning_forest().edges)
+        restored.ingest([(40, 42)])
+        session.ingest([(40, 42)])
+        assert np.array_equal(
+            restored.query("connectivity").family.pool.cells,
+            session.query("connectivity").family.pool.cells,
+        )
+        session.close(close_backend=False)
+        restored.close()
+
+    def test_bad_format_rejected(self, tmp_path):
+        import pickle
+
+        path = os.fspath(tmp_path / "bad.ckpt")
+        with open(path, "wb") as fh:
+            pickle.dump({"format": 999}, fh)
+        with pytest.raises(ConfigurationError, match="format"):
+            GraphSession.restore(path)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic teardown
+# ---------------------------------------------------------------------------
+
+def _await_death(procs, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while any(p.is_alive() for p in procs):
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.05)
+    return True
+
+
+class TestDeterministicShutdown:
+    def test_session_close_stops_workers(self):
+        backend = SharedMemoryBackend(num_workers=1)
+        session = GraphSession(N, tasks=("connectivity",),
+                               config=_config("sequential"),
+                               backend=backend)
+        session.ingest([(0, 1), (1, 2)])
+        procs = list(backend._procs)
+        assert all(p.is_alive() for p in procs)
+        session.close()
+        assert session.closed
+        assert not backend.usable
+        assert _await_death(procs), "workers survived session.close()"
+        # Idempotent, and a closed session rejects further work.
+        session.close()
+        with pytest.raises(QueryError, match="closed"):
+            session.ingest([(2, 3)])
+
+    def test_cluster_context_manager_stops_workers(self):
+        backend = SharedMemoryBackend(num_workers=1)
+        from repro.mpc import Cluster
+
+        with Cluster(_config("sequential"), backend=backend) as cluster:
+            assert cluster.backend is backend
+        procs = list(backend._procs)
+        assert not backend.usable
+        assert _await_death(procs), "workers survived Cluster.__exit__"
+
+    def test_backend_context_manager(self):
+        with SharedMemoryBackend(num_workers=1) as backend:
+            procs = list(backend._procs)
+            assert all(p.is_alive() for p in procs)
+        assert not backend.usable
+        assert _await_death(procs), "workers survived backend.__exit__"
+
+    def test_close_leaves_cached_fleet_for_other_sessions(
+            self, shared_backend):
+        """Default close() only tears down a *privately owned* fleet;
+        the process-cached backend other sessions share stays up."""
+        s1 = GraphSession(N, config=_config("shared_memory"))
+        s2 = GraphSession(N, config=_config("shared_memory"))
+        assert s1.cluster.backend is s2.cluster.backend is shared_backend
+        s1.ingest([(0, 1)])
+        s2.ingest([(0, 1)])
+        s1.close()
+        assert shared_backend.usable
+        s2.ingest([(1, 2)])        # the survivor keeps working
+        assert s2.connected(0, 2)
+        s2.close()
+        assert shared_backend.usable
+
+    def test_cluster_close_spares_cached_backend(self, shared_backend):
+        from repro.mpc import Cluster
+
+        with Cluster(_config("shared_memory")) as cluster:
+            assert cluster.backend is shared_backend
+        assert shared_backend.usable
+        # Force-close is explicit (and the factory would re-spawn).
+        assert shared_backend.cached
+
+    def test_sequential_close_is_noop(self):
+        with GraphSession(N, config=_config("sequential")) as session:
+            session.ingest([(0, 1)])
+        assert session.closed
+        # The process-wide sequential singleton is untouched.
+        assert get_backend("sequential").usable
+
+    def test_queries_still_answer_after_close(self):
+        """Closing releases execution resources; the maintained
+        solution stays readable (it lives in parent memory)."""
+        session = GraphSession(N, tasks=("connectivity",),
+                               config=_config("sequential"))
+        session.ingest([(0, 1), (1, 2)])
+        session.close()
+        assert session.connected(0, 2)

@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.baselines import DynamicConnectivityOracle
+from repro.types import ins
 from repro.streams import (
     ChurnStream,
     SplitMergeStream,
     as_batches,
+    iter_batches,
     erdos_renyi_insertions,
     even_cycle_insertions,
     odd_cycle_insertions,
@@ -135,3 +137,45 @@ class TestBatching:
     def test_bad_batch_size(self):
         with pytest.raises(ValueError):
             as_batches([], 0)
+        with pytest.raises(ValueError):
+            iter_batches([], 0)  # raises at call time, not first next()
+
+    def test_iter_batches_matches_as_batches(self):
+        ups = erdos_renyi_insertions(20, 25, seed=0)
+        lazy = list(iter_batches(iter(ups), 10))
+        eager = as_batches(ups, 10)
+        assert [list(b) for b in lazy] == [list(b) for b in eager]
+
+    def test_iter_batches_preserves_stream_order(self):
+        ups = erdos_renyi_insertions(30, 41, seed=2)
+        batches = list(iter_batches((u for u in ups), 7))
+        assert [len(b) for b in batches] == [7] * 5 + [6]
+        flat = [up for b in batches for up in b]
+        assert flat == list(ups)
+
+    def test_iter_batches_is_lazy(self):
+        consumed = []
+
+        def stream():
+            for i, up in enumerate(erdos_renyi_insertions(20, 12, seed=1)):
+                consumed.append(i)
+                yield up
+
+        gen = iter_batches(stream(), 5)
+        assert consumed == []          # nothing pulled yet
+        first = next(gen)
+        assert len(first) == 5
+        assert consumed == [0, 1, 2, 3, 4]   # exactly one batch buffered
+        rest = list(gen)
+        assert [len(b) for b in rest] == [5, 2]
+        assert consumed == list(range(12))
+
+    def test_iter_batches_unbounded_source(self):
+        def endless():
+            i = 0
+            while True:
+                yield ins(i, i + 1)
+                i += 1
+
+        gen = iter_batches(endless(), 4)
+        assert [len(next(gen)) for _ in range(3)] == [4, 4, 4]
