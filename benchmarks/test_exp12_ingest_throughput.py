@@ -193,6 +193,95 @@ def test_exp12_ingest_throughput(benchmark):
 
 
 # ---------------------------------------------------------------------------
+# EXP-12 deletion-mix point (ROADMAP: deletion-heavy trajectory)
+# ---------------------------------------------------------------------------
+
+#: The deletion-mix point: (n, base batch, reps) plus the mix shape --
+#: insert everything, delete 60% of it, reinsert half of the deleted
+#: edges (the insert->delete->reinsert churn of a turnover-heavy
+#: stream).  >=30% of the resulting update sequence is deletions.
+MIX_POINT = (512, 256, 7)
+
+
+def _mixed_update_arrays(n: int, batch: int):
+    """An insert/delete/reinsert sequence over one edge batch."""
+    edges, us, vs = _edge_batch(n, batch)
+    cut = int(0.6 * batch)
+    re = cut // 2
+    seq_us = np.concatenate([us, us[:cut], us[:re]])
+    seq_vs = np.concatenate([vs, vs[:cut], vs[:re]])
+    deltas = np.concatenate([
+        np.ones(batch, dtype=np.int64),
+        -np.ones(cut, dtype=np.int64),
+        np.ones(re, dtype=np.int64),
+    ])
+    return seq_us, seq_vs, deltas
+
+
+def test_exp12_deletion_mix(benchmark):
+    """Deletion-heavy ingestion throughput, per-edge vs bulk.
+
+    Deletions take the same scatter with ``delta = -1``, so the bulk
+    win must survive a churn-shaped stream (the regime the batch-
+    dynamic deletion phases actually see); recorded under
+    ``deletion_mix`` in BENCH_ingest.json.
+    """
+    n, batch, reps = MIX_POINT
+    us, vs, deltas = _mixed_update_arrays(n, batch)
+    total = len(deltas)
+    delete_fraction = float((deltas < 0).sum()) / total
+    assert delete_fraction >= 0.30, "the mix must stay deletion-heavy"
+
+    def run_sequential():
+        family, sketches = _fresh_family(n)
+        start = time.perf_counter()
+        for u, v, d in zip(us.tolist(), vs.tolist(), deltas.tolist()):
+            sketches[u].apply_edge(u, v, d)
+            sketches[v].apply_edge(u, v, d)
+        return time.perf_counter() - start, family
+
+    def run_bulk():
+        family, _ = _fresh_family(n)
+        start = time.perf_counter()
+        family.apply_edges_bulk(us, vs, deltas)
+        return time.perf_counter() - start, family
+
+    run_sequential()
+    run_bulk()
+    seq_time, seq_family = min((run_sequential() for _ in range(reps)),
+                               key=lambda pair: pair[0])
+    bulk_time, bulk_family = min((run_bulk() for _ in range(reps)),
+                                 key=lambda pair: pair[0])
+    assert np.array_equal(seq_family.pool.cells, bulk_family.pool.cells)
+
+    speedup = (total / bulk_time) / (total / seq_time)
+    print_table(
+        [{"path": name, "time/stream (ms)": round(secs * 1e3, 3),
+          "updates/sec": round(total / secs)}
+         for name, secs in (("per-edge", seq_time), ("bulk", bulk_time))],
+        title=f"EXP-12 deletion mix (n={n}, updates={total}, "
+              f"{delete_fraction:.0%} deletions, {speedup:.1f}x)",
+    )
+    _merge_results({
+        "deletion_mix": {
+            "n": n,
+            "updates": total,
+            "delete_fraction": delete_fraction,
+            "columns": _columns_for(n),
+            "sequential_updates_per_sec": total / seq_time,
+            "bulk_updates_per_sec": total / bulk_time,
+            "speedup": speedup,
+            "reps": reps,
+        }
+    })
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"deletion-mix bulk speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )
+    benchmark(lambda: run_bulk()[0])
+
+
+# ---------------------------------------------------------------------------
 # EXP-13: query throughput (the recovery side of the same pipeline)
 # ---------------------------------------------------------------------------
 

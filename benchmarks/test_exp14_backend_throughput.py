@@ -25,6 +25,14 @@ are actually available (affinity-aware); below that the numbers are
 recorded, the parity assertions still run, and a sanity floor keeps the
 overhead bounded.  The recorded ``cpus`` field makes every trajectory
 point interpretable.
+
+``test_exp14_small_batch_fanout`` adds the *small-batch* point (batch
+<= 64): a dispatch that small is all fan-out latency, so it isolates
+the descriptor transport -- the preallocated shared-memory ring buffer
+(tokens only on the pipe) against the legacy per-call pickled
+descriptors -- and records the win under
+``exp14_backend.small_batch`` with its own core-aware gate
+(``SMALL_BATCH_RING_FLOOR``).
 """
 
 from __future__ import annotations
@@ -51,6 +59,13 @@ REPS = 5
 WORKER_COUNTS = (2, 4)
 QUERY_COLUMN = 0
 
+#: The small-batch fan-out point: at batch <= 64 a dispatch is all
+#: latency, no work, so it measures the descriptor *transport* -- the
+#: ring buffer vs per-call pipe pickling.
+SMALL_BATCH = 64
+SMALL_REPS = 30
+SMALL_WORKERS = 2
+
 #: Floor on the 4-worker combined speedup.  Defaults: the 1.5x
 #: acceptance contract when >= 4 CPUs are available to this process, a
 #: bounded-overhead sanity check (descriptor shipping must stay within
@@ -63,10 +78,10 @@ SPEEDUP_FLOOR = float(os.environ.get("BACKEND_SPEEDUP_FLOOR",
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
 
 
-def _edge_batch():
-    rng = np.random.default_rng(2026)
+def _edge_batch(count: int = BATCH, seed: int = 2026):
+    rng = np.random.default_rng(seed)
     edges = set()
-    while len(edges) < BATCH:
+    while len(edges) < count:
         u, v = (int(x) for x in rng.integers(0, N, 2))
         if u != v:
             edges.add((min(u, v), max(u, v)))
@@ -155,7 +170,9 @@ def test_exp14_backend_throughput(benchmark):
     payload = {}
     if _RESULT_PATH.exists():
         payload = json.loads(_RESULT_PATH.read_text())
-    payload["exp14_backend"] = {
+    # Merge-update: the small-batch test nests its point under the same
+    # key, and a solo run of this test must not wipe it.
+    payload.setdefault("exp14_backend", {}).update({
         "n": N,
         "batch": BATCH,
         "columns": COLUMNS,
@@ -166,7 +183,7 @@ def test_exp14_backend_throughput(benchmark):
         "workers": measured,
         "speedup_4_workers": measured["4"]["speedup"],
         "speedup_floor": SPEEDUP_FLOOR,
-    }
+    })
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert measured["4"]["speedup"] >= SPEEDUP_FLOOR, (
@@ -184,3 +201,108 @@ def test_exp14_backend_throughput(benchmark):
         seq_family.apply_edges_bulk(us, vs, ones)
 
     benchmark(one_round)
+
+
+# ---------------------------------------------------------------------------
+# Small-batch fan-out latency: ring transport vs pipe pickling
+# ---------------------------------------------------------------------------
+
+#: Floor on the ring-vs-pipe small-batch speedup.  The ring removes
+#: per-dispatch descriptor pickling, which does not need spare cores to
+#: win -- but on a contended 1/2-CPU host the numbers are scheduler
+#: noise, so the full >=1x gate arms with the same core-awareness as
+#: the main EXP-14 floor and a loose sanity bound applies below that.
+_SMALL_DEFAULT_FLOOR = "1.0" if available_cpus() >= 4 else "0.5"
+SMALL_BATCH_RING_FLOOR = float(os.environ.get("SMALL_BATCH_RING_FLOOR",
+                                              _SMALL_DEFAULT_FLOOR))
+
+
+def _run_small_batch(backend, us, vs):
+    """Best-of-reps time for one small ingest+delete dispatch pair."""
+    family = SketchFamily(N, columns=COLUMNS,
+                          rng=np.random.default_rng(7), backend=backend)
+    ones = np.ones(len(us), dtype=np.int64)
+
+    def phase():
+        family.apply_edges_bulk(us, vs, ones)
+        family.apply_edges_bulk(us, vs, -ones)
+
+    phase()  # warm-up
+    best = float("inf")
+    for _ in range(SMALL_REPS):
+        start = time.perf_counter()
+        phase()
+        best = min(best, time.perf_counter() - start)
+    family.apply_edges_bulk(us, vs, ones)
+    return best, family
+
+
+def test_exp14_small_batch_fanout():
+    """The tentpole's latency claim: at batch <= 64 the ring transport
+    ships only (seq, offset, length) tokens -- no per-call descriptor
+    pickling -- and must not lose to the pickled-pipe path."""
+    us, vs = _edge_batch(count=SMALL_BATCH, seed=1312)
+    cpus = available_cpus()
+
+    seq_time, seq_family = _run_small_batch(get_backend("sequential"),
+                                            us, vs)
+
+    ring_backend = SharedMemoryBackend(num_workers=SMALL_WORKERS)
+    try:
+        ring_time, ring_family = _run_small_batch(ring_backend, us, vs)
+        # Every small-batch dispatch must have taken the ring: zero
+        # pickled descriptor fallbacks (the unit-level contract).
+        assert ring_backend.ring_dispatches > 0
+        assert ring_backend.raw_dispatches == 0
+        assert np.array_equal(seq_family.pool.cells,
+                              ring_family.pool.cells)
+    finally:
+        ring_backend.close()
+
+    pipe_backend = SharedMemoryBackend(num_workers=SMALL_WORKERS,
+                                       ring_words=0)
+    try:
+        pipe_time, pipe_family = _run_small_batch(pipe_backend, us, vs)
+        assert pipe_backend.ring_dispatches == 0
+        assert np.array_equal(seq_family.pool.cells,
+                              pipe_family.pool.cells)
+    finally:
+        pipe_backend.close()
+
+    ring_vs_pipe = pipe_time / ring_time
+    rows = [
+        {"transport": "sequential (no fan-out)", "time/phase (us)":
+            round(seq_time * 1e6, 1), "speedup vs pipe": "-"},
+        {"transport": "pipe (pickled descriptors)", "time/phase (us)":
+            round(pipe_time * 1e6, 1), "speedup vs pipe": 1.0},
+        {"transport": "ring (seq/offset tokens)", "time/phase (us)":
+            round(ring_time * 1e6, 1),
+            "speedup vs pipe": round(ring_vs_pipe, 2)},
+    ]
+    print_table(rows, title=f"EXP-14 small-batch fan-out latency "
+                            f"(n={N}, batch={SMALL_BATCH}, "
+                            f"workers={SMALL_WORKERS}, cpus={cpus}, "
+                            f"floor {SMALL_BATCH_RING_FLOOR}x)")
+
+    payload = {}
+    if _RESULT_PATH.exists():
+        payload = json.loads(_RESULT_PATH.read_text())
+    payload.setdefault("exp14_backend", {})["small_batch"] = {
+        "n": N,
+        "batch": SMALL_BATCH,
+        "workers": SMALL_WORKERS,
+        "reps": SMALL_REPS,
+        "cpus": cpus,
+        "sequential_time_per_phase_sec": seq_time,
+        "pipe_time_per_phase_sec": pipe_time,
+        "ring_time_per_phase_sec": ring_time,
+        "ring_vs_pipe_speedup": ring_vs_pipe,
+        "ring_floor": SMALL_BATCH_RING_FLOOR,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert ring_vs_pipe >= SMALL_BATCH_RING_FLOOR, (
+        f"ring transport small-batch speedup {ring_vs_pipe:.2f}x vs the "
+        f"pipe path is below the {SMALL_BATCH_RING_FLOOR}x floor "
+        f"({cpus} cpus available)"
+    )

@@ -35,6 +35,24 @@ or globally via the environment (how CI runs the whole tier-1 suite on
 the cluster backend)::
 
     REPRO_BACKEND=shared_memory REPRO_BACKEND_WORKERS=2 python ...
+
+Three ``REPRO_BACKEND*`` knobs exist, all validated at read time -- a
+garbage value raises a clear error naming the variable instead of
+failing deep inside backend startup:
+
+* ``REPRO_BACKEND`` -- backend name (``sequential`` / ``shared_memory``
+  / ``shm``); unknown names raise ``ConfigurationError``.
+* ``REPRO_BACKEND_WORKERS`` -- worker-process count, an integer >= 1;
+  anything else (``abc``, ``-1``, ``""``) raises ``SketchError``.
+* ``REPRO_BACKEND_TIMEOUT`` -- per-call deadline in seconds (positive
+  number, default 120): a deadlocked or dead worker surfaces as
+  ``SketchError`` within this bound instead of hanging the phase.
+  Garbage values raise ``SketchError`` at backend construction.
+
+On the shared-memory backend, small batches ship through preallocated
+per-worker ring buffers (only a tiny ``(seq, offset, length)`` token
+crosses the pipe), so fan-out latency stays flat as batches shrink --
+see the wire protocol in :mod:`repro.mpc.backend`.
 """
 
 from repro import GraphSession, dele, ins

@@ -12,13 +12,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.api import BatchDynamicAlgorithm
 from repro.mpc.config import MPCConfig
 from repro.mpc.metrics import PhaseMetrics
 from repro.mpc.simulator import Cluster
 from repro.sketch.graph_sketch import SketchFamily
-from repro.sketch.l0_sampler import L0Sampler
-from repro.sketch.sparse_recovery import MergeScratch
 from repro.types import Edge, ForestSolution, Update
 
 
@@ -40,7 +40,6 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
         self.sketches = {v: self.family.new_vertex_sketch(v)
                          for v in range(config.n)}
         self.stats = {"query_iterations": 0, "sketch_failures": 0}
-        self._merge_scratch = MergeScratch()
         self._register_memory()
 
     # ------------------------------------------------------------------
@@ -80,28 +79,29 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
                 x = leader[x]
             return x
 
-        # Supernode accumulators start as copies of the vertex
-        # sketches, drawn from the scratch pool so repeated queries
-        # reuse the same blocks instead of allocating n matrices each.
-        self._merge_scratch.reset()
-        merged: Dict[int, L0Sampler] = {
-            v: L0Sampler.merged([self.sketches[v].sampler],
-                                scratch=self._merge_scratch)
-            for v in range(n)
+        # Supernodes are *membership* lists over the family pool's
+        # vertex rows, starting as singletons.  Every halving iteration
+        # re-merges each live supernode's member rows through the
+        # execution backend -- exactly the per-iteration converge-cast
+        # the model charges -- and the parent only ever sees the
+        # recovered edges, never materialised supernode cells.
+        members: Dict[int, np.ndarray] = {
+            v: np.array([v], dtype=np.int64) for v in range(n)
         }
         forest_edges: List[Edge] = []
         iterations = 0
         for column in range(self.family.columns):
-            roots = sorted(r for r in merged if find(r) == r)
+            roots = sorted(r for r in members if find(r) == r)
             # One halving iteration: merge supernode sketches (converge
             # tree), query every live supernode *in parallel* -- one
-            # fused vectorized zero-test + recovery for the whole
-            # column -- and route the recovered edges (one exchange).
-            # Gathering all samples before contracting is the faithful
-            # MPC super-step: within an iteration every machine
-            # queries the sketch state from the iteration's start.
-            zeros, sampled = self.family.query_iteration_bulk(
-                [merged[r] for r in roots], column
+            # fused zero-test + recovery pass over the shipped
+            # memberships -- and route the recovered edges (one
+            # exchange).  Gathering all samples before contracting is
+            # the faithful MPC super-step: within an iteration every
+            # machine queries the sketch state from the iteration's
+            # start.
+            zeros, sampled = self.family.query_iteration_groups(
+                [members[r] for r in roots], column
             )
             if zeros.all():
                 break
@@ -122,12 +122,14 @@ class AGMStaticConnectivity(BatchDynamicAlgorithm):
                 if ra == rb:
                     continue
                 leader[ra] = rb
-                merged[rb].merge_from(merged[ra])
-                del merged[ra]
+                members[rb] = np.concatenate((members[rb], members[ra]))
+                del members[ra]
                 forest_edges.append((a, b))
         self.stats["query_iterations"] = iterations
-        remaining = sorted(r for r in merged if find(r) == r)
-        zero = L0Sampler.is_zero_many([merged[r] for r in remaining])
+        remaining = sorted(r for r in members if find(r) == r)
+        zero = self.family.cuts_empty_groups(
+            [members[r] for r in remaining]
+        )
         leftovers = [r for r, is_z in zip(remaining, zero) if not is_z]
         self.stats["sketch_failures"] += len(leftovers)
         return ForestSolution(n=n, edges=sorted(forest_edges), weights=[])

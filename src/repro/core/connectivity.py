@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.api import BatchDynamicAlgorithm
 from repro.core.components import ComponentIds
 from repro.errors import QueryError, SketchFailureError
@@ -30,8 +32,6 @@ from repro.euler.distributed import DistributedEulerForest
 from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import Cluster
 from repro.sketch.graph_sketch import SketchFamily
-from repro.sketch.l0_sampler import L0Sampler
-from repro.sketch.sparse_recovery import MergeScratch
 from repro.types import Edge, ForestSolution, Update, canonical
 
 
@@ -59,7 +59,6 @@ class MPCConnectivity(BatchDynamicAlgorithm):
         self.components = ComponentIds(config.n)
         self.strict = strict
         self._column_cursor = 0
-        self._merge_scratch = MergeScratch()
         self.stats: Dict[str, int] = {
             "replacement_edges": 0,
             "sketch_failures": 0,
@@ -235,18 +234,19 @@ class MPCConnectivity(BatchDynamicAlgorithm):
             total_words=len(fragments) * self.family.words_per_vertex,
             category="build-H",
         )
-        # Fragment merges draw their accumulators from the scratch
-        # pool; the previous phase's merged sketches are dead by now,
-        # so their blocks are safe to recycle.
-        self._merge_scratch.reset()
-        merged: Dict[int, L0Sampler] = {}
+        # Fragment *membership* (tour id -> vertex rows of the shared
+        # pool) is what actually ships: the execution backend merges
+        # the member rows where the pool lives and answers the halving
+        # queries, so the parent never materialises merged cells.  The
+        # model charges above are unchanged -- the converge/gather is
+        # where the merges logically happen.
+        members: Dict[int, np.ndarray] = {}
         for tid in fragments:
-            stacks = [self.sketches[v].sampler
-                      for v in self.forest.tour_vertices(tid)]
-            merged[tid] = L0Sampler.merged(stacks,
-                                           scratch=self._merge_scratch)
+            verts = sorted(self.forest.tour_vertices(tid))
+            members[tid] = np.fromiter(verts, dtype=np.int64,
+                                       count=len(verts))
 
-        replacement_edges = self._agm_replacements(fragments, merged)
+        replacement_edges = self._agm_replacements(fragments, members)
         if replacement_edges:
             self.stats["replacement_edges"] += len(replacement_edges)
             link_report = self.forest.batch_link(replacement_edges)
@@ -264,16 +264,23 @@ class MPCConnectivity(BatchDynamicAlgorithm):
             self.components.relabel_min(self.forest.tour_vertices(tid))
 
     def _agm_replacements(
-        self, fragments: List[int], merged: Dict[int, L0Sampler]
+        self, fragments: List[int], members: Dict[int, np.ndarray]
     ) -> List[Edge]:
         """AGM halving iterations over the fragment sketches.
 
         Supernodes start as fragments; iteration ``i`` queries column
         ``cursor + i`` of every supernode's merged sketch, contracts
         along the recovered edges, and records one original graph edge
-        per contraction -- exactly the F_H construction of Section 6.3,
-        run locally on the machine holding the gathered sketches (hence
-        no extra MPC rounds beyond the gather).
+        per contraction -- exactly the F_H construction of Section 6.3.
+        Supernodes are handled as *membership* lists (``members`` maps
+        fragment tour id -> vertex rows); each iteration ships them to
+        the execution backend, which merges the member rows against the
+        shared pool and returns only the recovered edges
+        (:meth:`SketchFamily.query_iteration_groups`).  Contracting two
+        supernodes is then a list concatenation, and the answers stay
+        bit-identical to the materialised-merge path.  No extra MPC
+        rounds beyond the charged gather -- where the work *executes*
+        is the backend's business.
         """
         leader = {tid: tid for tid in fragments}
 
@@ -297,8 +304,8 @@ class MPCConnectivity(BatchDynamicAlgorithm):
             if not ordered:
                 break
             column = (self._column_cursor + it) % columns
-            zeros, sampled = self.family.query_iteration_bulk(
-                [merged[root] for root in ordered], column
+            zeros, sampled = self.family.query_iteration_groups(
+                [members[root] for root in ordered], column
             )
             if zeros.all():
                 break
@@ -316,9 +323,9 @@ class MPCConnectivity(BatchDynamicAlgorithm):
                 if ra is None or rb is None or ra == rb:
                     continue
                 leader[ra] = rb
-                # In-place supernode merge: the accumulators are
-                # scratch-backed standalone matrices this phase owns.
-                merged[rb].merge_from(merged[ra])
+                # Supernode contraction = membership union; the rows
+                # themselves never move.
+                members[rb] = np.concatenate((members[rb], members[ra]))
                 roots.discard(ra)
                 replacement.append((a, b))
         self.stats["agm_iterations"] = max(
@@ -330,9 +337,8 @@ class MPCConnectivity(BatchDynamicAlgorithm):
 
         # Anything still live has a nonzero cut we failed to recover.
         remaining = sorted(roots)
-        leftover_zero = (
-            L0Sampler.is_zero_many([merged[r] for r in remaining])
-            if remaining else []
+        leftover_zero = self.family.cuts_empty_groups(
+            [members[r] for r in remaining]
         )
         leftovers = [root for root, is_z in zip(remaining, leftover_zero)
                      if not is_z]

@@ -18,8 +18,7 @@ import numpy as np
 from repro.core.components import ComponentIds
 from repro.errors import InvalidUpdateError, SketchFailureError
 from repro.euler.sequential import EulerTourForest
-from repro.sketch.graph_sketch import MergedSketch, SketchFamily, VertexSketch
-from repro.sketch.sparse_recovery import MergeScratch
+from repro.sketch.graph_sketch import SketchFamily
 from repro.types import Edge, ForestSolution, Op, Update, canonical
 
 
@@ -67,7 +66,6 @@ class StreamingConnectivity:
         self.strict = strict
         self.sketch_failures = 0
         self._column_cursor = 0
-        self._merge_scratch = MergeScratch()
         self._edges: Set[Edge] = set()
 
     # ------------------------------------------------------------------
@@ -166,22 +164,24 @@ class StreamingConnectivity:
         edge is accepted only if it genuinely crosses the split (the
         fingerprint makes anything else vanishingly unlikely).
 
-        The merge accumulator comes from the scratch pool (the
-        previous deletion's merged sketch is dead by now), and the
-        whole column scan is recovered in one vectorized pass; the
-        accept/reject walk over the per-column results is unchanged,
-        so the outcome is bit-identical to the sequential scan.
+        Z_u ships as *membership* (its vertices are rows of the family
+        pool): the execution backend merges the member rows where the
+        pool lives and decodes the whole column scan in one pass
+        (:meth:`SketchFamily.scan_group`), so no merged sketch is ever
+        materialised here.  The accept/reject walk over the per-column
+        results is unchanged, and summing rows commutes with querying,
+        so the outcome is bit-identical to the merged-sketch scan.
         """
-        self._merge_scratch.reset()
-        merged = MergedSketch.of([self.sketches[x] for x in z_u],
-                                 scratch=self._merge_scratch)
-        if merged.cut_is_empty():
-            return None
+        members = np.fromiter(sorted(z_u), dtype=np.int64,
+                              count=len(z_u))
         columns = self.family.columns
         order = [(self._column_cursor + offset) % columns
                  for offset in range(columns)]
-        sampled = merged.sample_cut_edges(np.asarray(order,
-                                                     dtype=np.int64))
+        cut_empty, sampled = self.family.scan_group(
+            members, np.asarray(order, dtype=np.int64)
+        )
+        if cut_empty:
+            return None
         for column, candidate in zip(order, sampled):
             if candidate is None:
                 continue

@@ -44,7 +44,48 @@ suite against the cluster backend).
 Failure model: a worker that dies or deadlocks surfaces as
 :class:`~repro.errors.SketchError` on the next backend call (liveness is
 polled while waiting, with a configurable ``REPRO_BACKEND_TIMEOUT``), so
-a crashed shard can never silently corrupt a phase.
+a crashed shard can never silently corrupt a phase.  The environment
+knobs are validated at read time: a garbage ``REPRO_BACKEND_WORKERS``
+or ``REPRO_BACKEND_TIMEOUT`` value raises a ``SketchError`` naming the
+variable instead of detonating deep inside backend startup.
+
+Ring-buffer descriptor transport
+--------------------------------
+Shipping a routed call's index arrays through the pipes means pickling
+a fresh ``(slots, idxs, deltas)`` descriptor per dispatch -- at small
+batch sizes that serialisation, not the GF(2^61-1) work, dominates the
+fan-out.  Each worker therefore owns a preallocated shared-memory
+**ring buffer** for descriptors, and the pipe carries only a tiny
+constant-size token.
+
+*Wire layout.*  A ring is one int64 segment of ``ring_words`` words.
+A dispatch packs its descriptor arrays in place at the current write
+offset::
+
+    [n_arrays, len_0 .. len_{n-1}, data_0 .. data_{n-1}]
+
+wrapping to offset 0 when the tail is too short for the whole record.
+The pipe command is then ``("rb", op, pool_token, seq, offset,
+words)``; descriptors larger than the ring fall back to the legacy
+pickled-pipe path (large batches amortise their pickling anyway).
+
+*Seq/ack discipline.*  The parent increments a per-worker sequence
+number on every ring write; the worker checks each token continues the
+sequence and rejects any gap as a desync (stale bytes are never
+silently decoded).  At most one command per worker is ever in flight
+(:meth:`SharedMemoryBackend._dispatch` is a synchronous fan-out/fan-in)
+and the worker acknowledges on the existing liveness channel only
+*after* consuming the descriptor, so the parent can never overwrite a
+region that is still being read -- the single-writer/single-reader ring
+needs no locks.
+
+*Crash semantics.*  A worker death mid-call is detected by the same
+liveness poll as before (``SketchError``, backend marked broken); the
+parent owns the ring segments and unlinks them on :meth:`close`, while
+workers hold only name-based attachments that die with their process.
+Rings are process-local execution state: checkpoints never contain
+them, and a checkpoint restored onto a fresh backend simply attaches
+its pools to that backend's own rings.
 """
 
 from __future__ import annotations
@@ -80,6 +121,11 @@ _ALIASES = {
     "shm": SHARED_MEMORY,
 }
 
+#: Default per-worker descriptor ring size, in int64 words (256 KiB).
+#: Comfortably holds the small-batch descriptors the ring exists for;
+#: anything larger falls back to the pickled pipe path.
+DEFAULT_RING_WORDS = 1 << 15
+
 
 def available_cpus() -> int:
     """CPUs this process may actually use (affinity-aware)."""
@@ -89,11 +135,56 @@ def available_cpus() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+def _env_int(name: str, minimum: int) -> Optional[int]:
+    """Read an integer env knob; ``None`` when unset.
+
+    A set-but-garbage value (``"abc"``, ``""``, ``"-1"``) raises
+    :class:`~repro.errors.SketchError` naming the variable at *read*
+    time, instead of surfacing as a bare ``ValueError`` (or a silently
+    clamped count) deep inside backend startup.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise SketchError(
+            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
+        ) from None
+    if value < minimum:
+        raise SketchError(
+            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
+        )
+    return value
+
+
+def _env_float(name: str, default: float) -> float:
+    """Read a positive-seconds env knob; ``default`` when unset.
+
+    Validated at read time like :func:`_env_int`: garbage or
+    non-positive values raise ``SketchError`` naming the variable.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        value = math.nan
+    if not math.isfinite(value) or value <= 0:
+        raise SketchError(
+            f"invalid {name}={raw!r}: expected a positive number of "
+            f"seconds"
+        )
+    return value
+
+
 def default_worker_count() -> int:
     """Worker count when unspecified: env override, else ``min(4, cpus)``."""
-    env = os.environ.get(ENV_WORKERS)
-    if env:
-        return max(1, int(env))
+    env = _env_int(ENV_WORKERS, minimum=1)
+    if env is not None:
+        return env
     return max(1, min(4, available_cpus()))
 
 
@@ -190,6 +281,30 @@ class ExecutionBackend:
         """Per-row all-columns zero test."""
         raise NotImplementedError
 
+    # -- routed supernode (group) work ----------------------------------
+    # The AGM halving iterations query *merged* supernode sketches.
+    # Instead of materialising merged cells in the parent, these ops
+    # ship fragment **membership** (per-group pool-row lists); the
+    # backend merges the member rows where the pool lives and answers
+    # bit-identically to merging first (sum + query commute, see
+    # repro.sketch.sparse_recovery.merge_group_cells).
+
+    def query_groups(self, handle: PoolHandle,
+                     groups: "List[np.ndarray]",
+                     cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused zero test + one-column recovery per merged group."""
+        raise NotImplementedError
+
+    def zero_groups(self, handle: PoolHandle,
+                    groups: "List[np.ndarray]") -> np.ndarray:
+        """Per-group all-columns zero test over merged member rows."""
+        raise NotImplementedError
+
+    def scan_group(self, handle: PoolHandle, members: np.ndarray,
+                   cols: np.ndarray) -> Tuple[bool, np.ndarray]:
+        """Zero test + whole column scan of one merged group."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release workers / shared segments (no-op when in-process)."""
 
@@ -268,18 +383,74 @@ class SequentialBackend(ExecutionBackend):
         self.last_split = {0: int(slots.shape[0])}
         return is_zero_cells(_rows_of(handle.pool, slots))
 
+    def query_groups(self, handle: PoolHandle,
+                     groups: "List[np.ndarray]",
+                     cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.sketch.l0_sampler import query_group_cells
+
+        self.last_split = {0: sum(int(g.shape[0]) for g in groups)}
+        return query_group_cells(handle.pool.cells, groups, cols,
+                                 handle.randomness)
+
+    def zero_groups(self, handle: PoolHandle,
+                    groups: "List[np.ndarray]") -> np.ndarray:
+        from repro.sketch.l0_sampler import zero_group_cells
+
+        self.last_split = {0: sum(int(g.shape[0]) for g in groups)}
+        return zero_group_cells(handle.pool.cells, groups)
+
+    def scan_group(self, handle: PoolHandle, members: np.ndarray,
+                   cols: np.ndarray) -> Tuple[bool, np.ndarray]:
+        from repro.sketch.l0_sampler import scan_group_cells
+
+        self.last_split = {0: int(members.shape[0])}
+        zero, found = scan_group_cells(handle.pool.cells, members, cols,
+                                       handle.randomness)
+        return bool(zero), found
+
 
 # ---------------------------------------------------------------------------
 # Shared-memory worker process
 # ---------------------------------------------------------------------------
 
-def _worker_main(worker_id: int, conn) -> None:
+def _ring_read(view: np.ndarray, offset: int, words: int) -> List[np.ndarray]:
+    """Unpack ``[n, len_0..len_{n-1}, data...]`` starting at ``offset``.
+
+    Returns zero-copy views into the ring; they stay valid until the
+    worker acknowledges the command (the parent never overwrites an
+    unacknowledged record).
+    """
+    n = int(view[offset])
+    lens = view[offset + 1:offset + 1 + n]
+    args: List[np.ndarray] = []
+    pos = offset + 1 + n
+    for length in lens:
+        length = int(length)
+        args.append(view[pos:pos + length])
+        pos += length
+    if pos - offset != words:
+        raise RuntimeError(
+            f"ring descriptor length mismatch: token said {words} "
+            f"words, header decodes to {pos - offset}"
+        )
+    return args
+
+
+def _split_groups(members: np.ndarray,
+                  glens: np.ndarray) -> List[np.ndarray]:
+    """Cut a flattened membership array back into per-group arrays."""
+    return np.split(members, np.cumsum(glens)[:-1])
+
+
+def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None
+                 ) -> None:
     """Persistent worker loop: attach pools, scatter, answer queries.
 
-    Runs in a *spawned* process: everything it needs arrives either
-    through the pipe (work descriptors, spawn-safe randomness params) or
-    through the named shared-memory cell blocks.  All heavy math is the
-    same vectorized code the sequential backend runs --
+    Runs in a *spawned* process: everything it needs arrives through
+    the pipe (small commands, spawn-safe randomness params), the
+    descriptor ring (index-array payloads, see the module docstring's
+    wire protocol), or the named shared-memory cell blocks.  All heavy
+    math is the same vectorized code the sequential backend runs --
     :func:`repro.sketch.sparse_recovery.pool_scatter` and the
     ``*_cells`` query cores -- so results are bit-identical by
     construction.
@@ -291,11 +462,60 @@ def _worker_main(worker_id: int, conn) -> None:
     from repro.sketch.l0_sampler import (
         is_zero_cells,
         query_cells,
+        query_group_cells,
         sample_cells,
+        scan_group_cells,
+        zero_group_cells,
     )
     from repro.sketch.sparse_recovery import pool_scatter
 
     pools: Dict[int, tuple] = {}
+    ring = None
+    ring_view = None
+    if ring_name is not None:
+        ring = shared_memory.SharedMemory(name=ring_name)
+        ring_view = np.ndarray((ring.size // 8,), dtype=np.int64,
+                               buffer=ring.buf)
+    expected_seq = 1
+
+    def run_op(op: str, token: int, args: List[np.ndarray]):
+        """One routed op over descriptor arrays (ring or pipe alike)."""
+        if op == "apply":
+            slots, idxs, deltas = args
+            _, cells, randomness = pools[token]
+            col_levels = randomness.levels_of_many(idxs)
+            zpows = randomness.zpow_many(idxs)
+            _, _, columns, levels = cells.shape
+            pool_scatter(cells.reshape(-1), columns, levels, slots,
+                         col_levels, idxs, deltas, zpows)
+            return None
+        if op == "query":
+            slots, cols = args
+            _, cells, randomness = pools[token]
+            return query_cells(cells[slots], cols, randomness)
+        if op == "sample":
+            slots, cols = args
+            _, cells, randomness = pools[token]
+            return sample_cells(cells[slots], cols, randomness)
+        if op == "is_zero":
+            (slots,) = args
+            _, cells, _ = pools[token]
+            return is_zero_cells(cells[slots])
+        if op == "gquery":
+            glens, members, cols = args
+            _, cells, randomness = pools[token]
+            return query_group_cells(cells, _split_groups(members, glens),
+                                     cols, randomness)
+        if op == "gzero":
+            glens, members = args
+            _, cells, _ = pools[token]
+            return zero_group_cells(cells, _split_groups(members, glens))
+        if op == "gscan":
+            members, cols = args
+            _, cells, randomness = pools[token]
+            return scan_group_cells(cells, members, cols, randomness)
+        raise ValueError(f"unknown backend op {op!r}")
+
     while True:
         try:
             cmd = conn.recv()
@@ -328,33 +548,30 @@ def _worker_main(worker_id: int, conn) -> None:
                     except BufferError:  # pragma: no cover
                         pass
                 conn.send(("ok", None))
-            elif op == "apply":
-                _, token, slots, idxs, deltas = cmd
-                _, cells, randomness = pools[token]
-                col_levels = randomness.levels_of_many(idxs)
-                zpows = randomness.zpow_many(idxs)
-                _, _, columns, levels = cells.shape
-                pool_scatter(cells.reshape(-1), columns, levels, slots,
-                             col_levels, idxs, deltas, zpows)
-                conn.send(("ok", None))
-            elif op == "query":
-                _, token, slots, cols = cmd
-                _, cells, randomness = pools[token]
-                conn.send(("ok", query_cells(cells[slots], cols,
-                                             randomness)))
-            elif op == "sample":
-                _, token, slots, cols = cmd
-                _, cells, randomness = pools[token]
-                conn.send(("ok", sample_cells(cells[slots], cols,
-                                              randomness)))
-            elif op == "is_zero":
-                _, token, slots = cmd
-                _, cells, _ = pools[token]
-                conn.send(("ok", is_zero_cells(cells[slots])))
+            elif op == "rb":
+                # Ring-transported descriptor: the payload sits in the
+                # shared ring; the token is all the pipe carried.
+                _, real_op, token, seq, offset, words = cmd
+                if ring_view is None:
+                    raise RuntimeError("ring token without a ring")
+                if seq != expected_seq:
+                    raise RuntimeError(
+                        f"ring transport desync: expected seq "
+                        f"{expected_seq}, got {seq}"
+                    )
+                expected_seq += 1
+                args = _ring_read(ring_view, offset, words)
+                conn.send(("ok", run_op(real_op, token, args)))
             else:
-                raise ValueError(f"unknown backend op {op!r}")
+                conn.send(("ok", run_op(op, cmd[1], list(cmd[2:]))))
         except Exception:
             conn.send(("error", traceback.format_exc()))
+    if ring is not None:
+        del ring_view
+        try:
+            ring.close()
+        except BufferError:  # pragma: no cover
+            pass
 
 
 class SharedMemoryBackend(ExecutionBackend):
@@ -374,14 +591,15 @@ class SharedMemoryBackend(ExecutionBackend):
 
     def __init__(self, num_workers: Optional[int] = None,
                  call_timeout: Optional[float] = None,
-                 start_timeout: float = 120.0):
+                 start_timeout: float = 120.0,
+                 ring_words: int = DEFAULT_RING_WORDS):
         super().__init__()
         self.num_workers = (num_workers if num_workers is not None
                             else default_worker_count())
         if self.num_workers < 1:
             raise ConfigurationError("need at least one worker")
         self.call_timeout = (call_timeout if call_timeout is not None
-                             else float(os.environ.get(ENV_TIMEOUT, "120")))
+                             else _env_float(ENV_TIMEOUT, 120.0))
         self._tokens = itertools.count()
         self._handles: Dict[int, "object"] = {}  # token -> SharedMemory
         self._closed = False
@@ -393,6 +611,31 @@ class SharedMemoryBackend(ExecutionBackend):
         #: reentrantly would desync the request/ack protocol.  The
         #: queue drains at the next top-level call.
         self._pending_detach: List[int] = []
+        #: Descriptor rings, one per worker (module docstring has the
+        #: wire protocol); ``ring_words=0`` disables the fast path so
+        #: every dispatch takes the pickled pipe route.
+        self.ring_words = int(ring_words)
+        self.ring_dispatches = 0
+        self.raw_dispatches = 0
+        self._rings: List["object"] = []
+        self._ring_views: List[np.ndarray] = []
+        self._ring_offsets: List[int] = []
+        self._ring_seqs: List[int] = []
+        self._scan_cursor = 0
+        if self.ring_words > 0:
+            from multiprocessing import shared_memory
+
+            for _ in range(self.num_workers):
+                shm = shared_memory.SharedMemory(
+                    create=True, size=8 * self.ring_words
+                )
+                self._rings.append(shm)
+                self._ring_views.append(
+                    np.ndarray((self.ring_words,), dtype=np.int64,
+                               buffer=shm.buf)
+                )
+                self._ring_offsets.append(0)
+                self._ring_seqs.append(0)
         import multiprocessing as mp
 
         ctx = mp.get_context("spawn")
@@ -400,7 +643,9 @@ class SharedMemoryBackend(ExecutionBackend):
         self._conns = []
         for wid in range(self.num_workers):
             parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(target=_worker_main, args=(wid, child_conn),
+            ring_name = self._rings[wid].name if self._rings else None
+            proc = ctx.Process(target=_worker_main,
+                               args=(wid, child_conn, ring_name),
                                daemon=True,
                                name=f"repro-shm-worker-{wid}")
             proc.start()
@@ -408,10 +653,16 @@ class SharedMemoryBackend(ExecutionBackend):
             self._procs.append(proc)
             self._conns.append(parent_conn)
         self._conn_ids = {id(c): w for w, c in enumerate(self._conns)}
-        # Handshake: workers are up once they answer a ping (spawned
-        # interpreters import numpy + repro, which takes a moment).
-        self._dispatch([(w, ("ping",)) for w in range(self.num_workers)],
-                       timeout=start_timeout)
+        try:
+            # Handshake: workers are up once they answer a ping (spawned
+            # interpreters import numpy + repro, which takes a moment).
+            self._dispatch(
+                [(w, ("ping",)) for w in range(self.num_workers)],
+                timeout=start_timeout,
+            )
+        except BaseException:
+            self.close()
+            raise
         _ALL_BACKENDS.add(self)
 
     # ------------------------------------------------------------------
@@ -601,6 +852,50 @@ class SharedMemoryBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # Routed work
     # ------------------------------------------------------------------
+    def _ring_pack(self, wid: int,
+                   arrays: List[np.ndarray]) -> Optional[Tuple[int, int, int]]:
+        """Write a descriptor record into worker ``wid``'s ring.
+
+        Returns the ``(seq, offset, words)`` token, or ``None`` when the
+        ring is disabled or the record does not fit (the caller falls
+        back to the pickled pipe path).  Safe to overwrite the previous
+        record: at most one command per worker is in flight, and the
+        worker acknowledged it before this call could have started.
+        """
+        if not self._rings:
+            return None
+        words = 1 + len(arrays) + sum(int(a.shape[0]) for a in arrays)
+        if words > self.ring_words:
+            return None
+        offset = self._ring_offsets[wid]
+        if offset + words > self.ring_words:
+            offset = 0  # wrap: the tail is too short for this record
+        view = self._ring_views[wid]
+        view[offset] = len(arrays)
+        pos = offset + 1
+        for array in arrays:
+            view[pos] = array.shape[0]
+            pos += 1
+        for array in arrays:
+            k = array.shape[0]
+            view[pos:pos + k] = array
+            pos += k
+        self._ring_offsets[wid] = pos
+        self._ring_seqs[wid] += 1
+        return self._ring_seqs[wid], offset, words
+
+    def _job(self, wid: int, op: str, token: int,
+             arrays: List[np.ndarray]) -> tuple:
+        """One ``(worker_id, command)`` job, ring-transported when the
+        descriptor fits (the small-batch fast path), pickled otherwise."""
+        packed = self._ring_pack(wid, arrays)
+        if packed is None:
+            self.raw_dispatches += 1
+            return (wid, (op, token, *arrays))
+        self.ring_dispatches += 1
+        seq, offset, words = packed
+        return (wid, ("rb", op, token, seq, offset, words))
+
     def _sharded_jobs(self, handle: PoolHandle, slots: np.ndarray,
                       payloads: List[np.ndarray],
                       op: str) -> Tuple[List[tuple], Dict[int, np.ndarray]]:
@@ -615,8 +910,42 @@ class SharedMemoryBackend(ExecutionBackend):
                 continue
             masks[wid] = mask
             split[wid] = int(mask.size)
-            jobs.append((wid, (op, handle.token, slots[mask],
-                               *[p[mask] for p in payloads])))
+            jobs.append(self._job(wid, op, handle.token,
+                                  [slots[mask],
+                                   *[p[mask] for p in payloads]]))
+        self.last_split = split
+        return jobs, masks
+
+    def _group_jobs(self, handle: PoolHandle, groups: "List[np.ndarray]",
+                    cols: Optional[np.ndarray],
+                    op: str) -> Tuple[List[tuple], Dict[int, np.ndarray]]:
+        """Assign whole groups to workers (greedy least-loaded by member
+        count -- deterministic) and pack each worker's share as
+        ``[group_lengths, members_flat(, cols)]``.  Workers read any
+        pool row read-only, so group placement is a load-balancing
+        choice, not a correctness constraint like the scatter shards.
+        """
+        loads = [0] * self.num_workers
+        assignment: Dict[int, List[int]] = {}
+        for i, members in enumerate(groups):
+            wid = min(range(self.num_workers),
+                      key=lambda w: (loads[w], w))
+            assignment.setdefault(wid, []).append(i)
+            loads[wid] += max(1, int(members.shape[0]))
+        jobs: List[tuple] = []
+        masks: Dict[int, np.ndarray] = {}
+        split: Dict[int, int] = {}
+        for wid, indices in assignment.items():
+            idx = np.asarray(indices, dtype=np.int64)
+            masks[wid] = idx
+            split[wid] = int(sum(groups[i].shape[0] for i in indices))
+            glens = np.fromiter((groups[i].shape[0] for i in indices),
+                                dtype=np.int64, count=len(indices))
+            members = np.concatenate([groups[i] for i in indices])
+            arrays = [glens, members]
+            if cols is not None:
+                arrays.append(cols[idx])
+            jobs.append(self._job(wid, op, handle.token, arrays))
         self.last_split = split
         return jobs, masks
 
@@ -668,6 +997,44 @@ class SharedMemoryBackend(ExecutionBackend):
             zeros[masks[wid]] = payload
         return zeros
 
+    def query_groups(self, handle: PoolHandle,
+                     groups: "List[np.ndarray]",
+                     cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        self._flush_detaches()
+        jobs, masks = self._group_jobs(handle, groups, cols, "gquery")
+        results = self._dispatch(jobs)
+        zeros = np.zeros(len(groups), dtype=bool)
+        found = np.full(len(groups), -1, dtype=np.int64)
+        for wid, payload in results.items():
+            z, f = payload
+            zeros[masks[wid]] = z
+            found[masks[wid]] = f
+        return zeros, found
+
+    def zero_groups(self, handle: PoolHandle,
+                    groups: "List[np.ndarray]") -> np.ndarray:
+        self._flush_detaches()
+        jobs, masks = self._group_jobs(handle, groups, None, "gzero")
+        results = self._dispatch(jobs)
+        zeros = np.zeros(len(groups), dtype=bool)
+        for wid, payload in results.items():
+            zeros[masks[wid]] = payload
+        return zeros
+
+    def scan_group(self, handle: PoolHandle, members: np.ndarray,
+                   cols: np.ndarray) -> Tuple[bool, np.ndarray]:
+        self._flush_detaches()
+        # One group, one worker: rotate so consecutive replacement
+        # searches spread over the fleet (deterministic round-robin).
+        wid = self._scan_cursor % self.num_workers
+        self._scan_cursor += 1
+        self.last_split = {wid: int(members.shape[0])}
+        results = self._dispatch(
+            [self._job(wid, "gscan", handle.token, [members, cols])]
+        )
+        zero, found = results[wid]
+        return bool(zero), found
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         if self._closed:
@@ -691,6 +1058,19 @@ class SharedMemoryBackend(ExecutionBackend):
                 pass
         for token in list(self._handles):
             self._release_token(token)
+        # Rings last: drop our views, then close + unlink each segment
+        # (workers only ever held name-based attachments).
+        self._ring_views.clear()
+        rings, self._rings = self._rings, []
+        for shm in rings:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
 
     def describe(self) -> str:
         return (f"{self.name}(workers={self.num_workers}, "

@@ -95,6 +95,17 @@ class Cluster:
                                             self.config.backend_workers)
         return self._backend
 
+    @property
+    def resolved_backend(self) -> Optional[ExecutionBackend]:
+        """The live backend, or ``None`` if never materialised.
+
+        Teardown paths read this instead of :attr:`backend`: closing a
+        cluster whose lazy backend was never forced (e.g. after a
+        failed or partial checkpoint restore) must not spawn a worker
+        fleet just to shut it down.
+        """
+        return self._backend
+
     @backend.setter
     def backend(self, value: ExecutionBackend) -> None:
         self._backend = value

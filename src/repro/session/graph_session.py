@@ -485,14 +485,25 @@ class GraphSession:
         ``close_backend=True`` to force-close even a shared cached
         fleet (the factory re-spawns one for later users) or ``False``
         to never close.
+
+        Safe on any session state: double-close is a no-op even when
+        the session is latched inconsistent, and a session whose lazy
+        backend property was never forced (a failed or partial
+        :meth:`restore`) is torn down without materialising a worker
+        fleet first -- there is nothing live to stop.
         """
         if self._closed:
             return
         self._closed = True
-        backend = self.cluster.backend
+        # Families detach from whatever backend they were attached to
+        # directly; reading the cluster's *resolved* backend (never the
+        # lazy property) keeps teardown from spawning a fleet.
+        backend = self.cluster.resolved_backend
         for alg in self._all_algorithms():
             for family in alg._sketch_families():
                 family.detach_backend()
+        if backend is None:
+            return
         if close_backend is None:
             close_backend = backend.parallel and not backend.cached
         if close_backend:
@@ -551,7 +562,15 @@ class GraphSession:
         session checkpointed under ``shared_memory`` restores cleanly
         onto ``sequential`` and vice versa (results are bit-identical
         across backends).  All sketch families are re-attached to the
-        chosen backend before the session is handed back.
+        chosen backend before the session is handed back; on the
+        shared-memory backend that re-attach also re-routes all future
+        dispatches through the live fleet's descriptor ring buffers
+        (rings are process-local, never checkpointed).
+
+        A failure part-way through (a backend that cannot spawn or
+        attach) rolls the half-built session back -- families detached,
+        nothing left half-attached -- and re-raises, so the checkpoint
+        file stays restorable.
         """
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
@@ -570,13 +589,21 @@ class GraphSession:
         session.batch_size = payload["batch_size"]
         session._closed = False
         session._broken = None
-        session.cluster.rebind_backend(backend, backend_workers)
-        live = session.cluster.backend
-        rebound = {id(session.cluster)}
-        for alg in session._all_algorithms():
-            if id(alg.cluster) not in rebound:
-                rebound.add(id(alg.cluster))
-                alg.cluster.rebind_backend(live)
-            for family in alg._sketch_families():
-                family.attach_backend(live)
+        try:
+            session.cluster.rebind_backend(backend, backend_workers)
+            live = session.cluster.backend
+            rebound = {id(session.cluster)}
+            for alg in session._all_algorithms():
+                if id(alg.cluster) not in rebound:
+                    rebound.add(id(alg.cluster))
+                    alg.cluster.rebind_backend(live)
+                for family in alg._sketch_families():
+                    family.attach_backend(live)
+        except Exception:
+            # Partial restore: latch the half-built session broken and
+            # close it the non-forcing way (detach whatever attached;
+            # never materialise a fleet just to tear it down).
+            session._broken = "restore failed part-way"
+            session.close(close_backend=False)
+            raise
         return session

@@ -44,6 +44,15 @@ backend too (standalone merged sketches are answered in-process).  On
 the default :class:`~repro.mpc.backend.SequentialBackend` this is the
 old in-process path verbatim; on the shared-memory cluster backend the
 same descriptors fan out to worker processes, bit-identically.
+
+Merged supernodes route through the backend too, as *membership*:
+:meth:`SketchFamily.query_iteration_groups` /
+:meth:`SketchFamily.cuts_empty_groups` / :meth:`SketchFamily.scan_group`
+ship per-supernode vertex-row lists instead of materialised merged
+cells -- the backend sums the member rows against the already-shared
+pool where it lives and returns only the recovered edges, which is what
+keeps the AGM halving iterations' per-round communication small on the
+cluster backend.
 """
 
 from __future__ import annotations
@@ -236,6 +245,67 @@ class SketchFamily:
             zeros, found = self.backend.query_rows(self._pool_handle,
                                                    slots, cols)
         return zeros, self.decode_many(found)
+
+    # -- membership-shipped supernode queries ---------------------------
+    def query_iteration_groups(
+        self, groups, column
+    ) -> "Tuple[np.ndarray, List[Optional[Edge]]]":
+        """One halving iteration over supernodes shipped as *membership*.
+
+        ``groups`` is a list of vertex-id arrays (= rows of this
+        family's pool); the backend merges each group's member rows
+        where the pool lives and answers the fused zero test +
+        cut-edge recovery, so the parent never materialises merged
+        supernode cells.  Entry ``i`` of the result equals querying the
+        parent-side merge of ``groups[i]`` on ``column[i]`` --
+        bit-identical, because summing rows and querying commute (see
+        :func:`~repro.sketch.sparse_recovery.merge_group_cells`).  On
+        the cluster backend whole groups are balanced across workers
+        and only the recovered edges travel back.
+        """
+        groups = self._group_arrays(groups)
+        if not groups:
+            return np.zeros(0, dtype=bool), []
+        cols = self._broadcast_columns(column, len(groups))
+        zeros, found = self.backend.query_groups(self._pool_handle,
+                                                 groups, cols)
+        return zeros, self.decode_many(found)
+
+    def cuts_empty_groups(self, groups) -> np.ndarray:
+        """Vectorized empty-cut test over membership-shipped groups."""
+        groups = self._group_arrays(groups)
+        if not groups:
+            return np.zeros(0, dtype=bool)
+        return self.backend.zero_groups(self._pool_handle, groups)
+
+    def scan_group(self, members,
+                   cols) -> "Tuple[bool, List[Optional[Edge]]]":
+        """Empty-cut test + whole column scan of one merged group.
+
+        The replacement-search shape: merge the ``members`` rows once,
+        then decode every requested column (modulo the family's column
+        count) in a single pass.  Returns ``(cut_is_empty, edges)``.
+        """
+        (members,) = self._group_arrays([members])
+        cols = np.asarray(cols, dtype=np.int64) % self.columns
+        zero, found = self.backend.scan_group(self._pool_handle,
+                                              members, cols)
+        return bool(zero), self.decode_many(found)
+
+    def _group_arrays(self, groups) -> "List[np.ndarray]":
+        """Validate membership lists into int64 pool-row arrays."""
+        out: List[np.ndarray] = []
+        for members in groups:
+            arr = np.asarray(members, dtype=np.int64)
+            if arr.size == 0:
+                raise SketchError("cannot query an empty vertex group")
+            if int(arr.min()) < 0 or int(arr.max()) >= self.pool.count:
+                raise SketchError(
+                    f"group member outside the family's vertex range "
+                    f"[0, {self.pool.count})"
+                )
+            out.append(arr)
+        return out
 
     # -- backend routing helpers ----------------------------------------
     def _pool_slots(self, samplers: "list[L0Sampler]"

@@ -50,6 +50,8 @@ from repro.sketch.sparse_recovery import (
     MergeScratch,
     RecoveryMatrix,
     _combine_limbs,
+    _suffix_cumsum,
+    merge_group_cells,
     recover_from_prefix,
 )
 
@@ -303,6 +305,52 @@ def query_cells(cells: np.ndarray, cols: np.ndarray,
             randomness.fingerprint_ok_many,
         )
     return zeros, found
+
+
+def query_group_cells(cells: np.ndarray, groups: "List[np.ndarray]",
+                      cols: np.ndarray,
+                      randomness: SamplerRandomness
+                      ) -> "tuple[np.ndarray, np.ndarray]":
+    """Fused zero test + one-column recovery over merged *groups*.
+
+    ``groups`` is a list of row-index arrays into ``cells`` (supernode
+    membership); group ``i`` is merged by summing its member rows and
+    queried on column ``cols[i]``.  The membership-shipped twin of
+    :func:`query_cells`: the execution backends run this where the pool
+    lives, so the parent never materialises merged supernode cells.
+    Answers are bit-identical to merging first and querying after (see
+    :func:`~repro.sketch.sparse_recovery.merge_group_cells`).
+    """
+    return query_cells(merge_group_cells(cells, groups), cols,
+                       randomness)
+
+
+def zero_group_cells(cells: np.ndarray,
+                     groups: "List[np.ndarray]") -> np.ndarray:
+    """Per-group all-columns zero test over merged member rows."""
+    return is_zero_cells(merge_group_cells(cells, groups))
+
+
+def scan_group_cells(cells: np.ndarray, members: np.ndarray,
+                     cols: np.ndarray,
+                     randomness: SamplerRandomness
+                     ) -> "tuple[bool, np.ndarray]":
+    """Zero test + a whole column scan of *one* merged group.
+
+    Merges the ``members`` rows once, answers the empty-cut test, and
+    (when non-zero) decodes every requested column in one pass --
+    the replacement-search shape of
+    :meth:`~repro.core.streaming_connectivity.StreamingConnectivity`.
+    Returns ``(is_zero, found)`` with ``found[i]`` the recovery of
+    ``cols[i]`` (``-1`` for rejection; all ``-1`` when zero).
+    """
+    merged = merge_group_cells(cells, [members])
+    if bool(is_zero_cells(merged)[0]):
+        return True, np.full(cols.shape[0], -1, dtype=np.int64)
+    prefix = _suffix_cumsum(merged[0][:, cols, :])       # (4, k, L)
+    return False, recover_from_prefix(
+        prefix, randomness.universe, randomness.fingerprint_ok_many
+    )
 
 
 def update_grouped(samplers, randomness: SamplerRandomness,

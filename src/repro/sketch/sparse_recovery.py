@@ -131,6 +131,32 @@ def pool_scatter(flat_cells: np.ndarray, columns: int, levels: int,
     np.add.at(flat_cells, flat, weights)
 
 
+def merge_group_cells(cells: np.ndarray,
+                      groups: "List[np.ndarray]") -> np.ndarray:
+    """Per-group sums of member rows of a ``(count, 4, c, L)`` block.
+
+    ``groups`` is a list of int64 row-index arrays (supernode
+    membership); the result is the ``(len(groups), 4, c, L)`` stack of
+    merged cells, entry ``i`` the element-wise sum of rows
+    ``groups[i]``.  This is the membership-shipped flavour of the
+    supernode merge: int64 addition is exact and order-independent, so
+    the sum equals a chain of :meth:`RecoveryMatrix.merge_from` calls
+    in any order -- except that no limb renormalization runs here.
+    Renormalization only changes the limb *decomposition* of the
+    fingerprints, never the combined value the queries read, so every
+    query answer derived from this stack is bit-identical to the
+    parent-side merged-matrix path; the pool-wide mass bound keeps all
+    sums inside int64 (see the module docstring's envelope).
+    """
+    out = np.empty((len(groups),) + cells.shape[1:], dtype=np.int64)
+    for i, members in enumerate(groups):
+        if members.shape[0] == 1:
+            out[i] = cells[members[0]]
+        else:
+            np.sum(cells[members], axis=0, out=out[i])
+    return out
+
+
 def _combine_limbs(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     """``(lo + 2^32 * hi) mod p`` for int64 limb arrays (any sign).
 

@@ -21,9 +21,53 @@ def as_batches(updates: Sequence[Update], batch_size: int) -> List[Batch]:
     ]
 
 
+class _BatchIterator(Iterator[Batch]):
+    """The iterator behind :func:`iter_batches`.
+
+    A plain iterator object, deliberately *not* a generator: generator
+    state dies on ``close()`` / ``GeneratorExit``, which has two sharp
+    edges this class removes.
+
+    * **Empty sources yield nothing.**  ``__next__`` raises
+      ``StopIteration`` immediately instead of ever producing an empty
+      :class:`Batch` (an empty phase would still charge routing).
+    * **Abandonment never drops buffered updates.**  Items pulled from
+      the source but not yet delivered (a partial batch interrupted by
+      a source exception, or a consumer that walked away mid-fill)
+      stay in :attr:`_pending`; the next ``__next__`` resumes with
+      them at the front, in stream order.  A generator would discard
+      that buffer on teardown and silently lose part of the stream on
+      a subsequent resume.
+    """
+
+    __slots__ = ("_source", "_size", "_pending")
+
+    def __init__(self, source: Iterable[Update], batch_size: int):
+        self._source = iter(source)
+        self._size = batch_size
+        self._pending: List[Update] = []
+
+    def __iter__(self) -> "Iterator[Batch]":
+        return self
+
+    def __next__(self) -> Batch:
+        # Fill into the *retained* buffer so a mid-fill exception from
+        # the source keeps the partial batch for the next call.
+        pending = self._pending
+        while len(pending) < self._size:
+            try:
+                pending.append(next(self._source))
+            except StopIteration:
+                break
+        if not pending:
+            raise StopIteration
+        self._pending = []
+        return Batch(pending)
+
+
 def iter_batches(updates: Iterable[Update],
                  batch_size: int) -> Iterator[Batch]:
-    """Lazy, generator flavour of :func:`as_batches`.
+    """Lazy, incremental flavour of :func:`as_batches`.
 
     Consumes ``updates`` incrementally -- the source may be an unbounded
     generator -- and yields full :class:`Batch` objects of exactly
@@ -34,23 +78,18 @@ def iter_batches(updates: Iterable[Update],
     buffered at a time, which is what lets
     :meth:`repro.session.GraphSession.ingest` accept lazy iterables
     without materialising them.
+
+    Tail handling: an empty source yields nothing (never an empty
+    batch), and abandoning the iterator mid-stream -- a consumer
+    breaking out, or the source raising mid-fill -- never drops
+    buffered updates: a subsequent ``next()`` on the same iterator
+    resumes with the retained partial batch (see :class:`_BatchIterator`).
     """
-    # Validate eagerly (a generator body would defer the error to the
-    # first ``next``, far from the buggy call site).
+    # Validate eagerly (deferring the error to the first ``next`` would
+    # surface it far from the buggy call site).
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-
-    def batches() -> Iterator[Batch]:
-        buffer: List[Update] = []
-        for update in updates:
-            buffer.append(update)
-            if len(buffer) == batch_size:
-                yield Batch(buffer)
-                buffer = []
-        if buffer:
-            yield Batch(buffer)
-
-    return batches()
+    return _BatchIterator(updates, batch_size)
 
 
 def singleton_batches(updates: Sequence[Update]) -> List[Batch]:

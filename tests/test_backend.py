@@ -26,6 +26,7 @@ from repro.mpc import MPCConfig
 from repro.mpc.backend import (
     SequentialBackend,
     SharedMemoryBackend,
+    default_worker_count,
     get_backend,
     resolve_backend,
 )
@@ -254,6 +255,253 @@ class TestPoolParity:
         z_shm, e_shm = shm.query_iteration_bulk([shm_merged], 0)
         assert np.array_equal(z_seq, z_shm)
         assert e_seq == e_shm
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: ring-buffer descriptor transport
+# ---------------------------------------------------------------------------
+
+class TestRingTransport:
+    def test_small_batches_take_the_ring(self):
+        """The hot path: small-batch dispatch ships (seq, offset, len)
+        tokens through the descriptor ring, never pickled arrays."""
+        backend = SharedMemoryBackend(num_workers=2)
+        try:
+            seq = SketchFamily(40, columns=6,
+                               rng=np.random.default_rng(3),
+                               backend="sequential")
+            shm = SketchFamily(40, columns=6,
+                               rng=np.random.default_rng(3),
+                               backend=backend)
+            raw_before = backend.raw_dispatches
+            us, vs = _random_edges(40, 32)
+            ones = np.ones(32, dtype=np.int64)
+            for family in (seq, shm):
+                family.apply_edges_bulk(us, vs, ones)
+                family.apply_edges_bulk(us[:8], vs[:8], -ones[:8])
+            samplers = [shm.new_vertex_sketch(v).sampler
+                        for v in range(40)]
+            shm.query_iteration_bulk(samplers, 0)
+            shm.cuts_empty_bulk(samplers)
+            shm.query_iteration_groups([np.arange(5), np.array([7, 9])],
+                                       1)
+            shm.scan_group(np.arange(4), np.arange(6))
+            assert backend.ring_dispatches > 0
+            assert backend.raw_dispatches == raw_before, (
+                "small-batch work must never fall back to pipe pickling"
+            )
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+        finally:
+            backend.close()
+
+    def test_oversized_descriptors_fall_back_to_pipe(self):
+        """Descriptors that cannot fit the ring take the legacy pickled
+        path -- bit-identically."""
+        backend = SharedMemoryBackend(num_workers=2, ring_words=64)
+        try:
+            seq = SketchFamily(64, columns=6,
+                               rng=np.random.default_rng(4),
+                               backend="sequential")
+            shm = SketchFamily(64, columns=6,
+                               rng=np.random.default_rng(4),
+                               backend=backend)
+            us, vs = _random_edges(64, 200, seed=11)
+            ones = np.ones(200, dtype=np.int64)
+            seq.apply_edges_bulk(us, vs, ones)
+            shm.apply_edges_bulk(us, vs, ones)
+            assert backend.raw_dispatches > 0
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+        finally:
+            backend.close()
+
+    def test_ring_wraps_and_stays_in_sync(self):
+        """Many small dispatches wrap the write offset; the seq/ack
+        discipline keeps every record decoding correctly."""
+        backend = SharedMemoryBackend(num_workers=1, ring_words=96)
+        try:
+            seq = SketchFamily(16, columns=4,
+                               rng=np.random.default_rng(5),
+                               backend="sequential")
+            shm = SketchFamily(16, columns=4,
+                               rng=np.random.default_rng(5),
+                               backend=backend)
+            us, vs = _random_edges(16, 40, seed=12)
+            for i in range(40):
+                one = np.ones(1, dtype=np.int64)
+                seq.apply_edges_bulk(us[i:i + 1], vs[i:i + 1], one)
+                shm.apply_edges_bulk(us[i:i + 1], vs[i:i + 1], one)
+            assert backend.ring_dispatches >= 40
+            assert max(backend._ring_offsets) <= backend.ring_words
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+        finally:
+            backend.close()
+
+    def test_ring_disabled_uses_pipe_only(self):
+        backend = SharedMemoryBackend(num_workers=1, ring_words=0)
+        try:
+            family = SketchFamily(8, columns=4,
+                                  rng=np.random.default_rng(6),
+                                  backend=backend)
+            us, vs = _random_edges(8, 6)
+            family.apply_edges_bulk(us, vs, np.ones(6, dtype=np.int64))
+            assert backend.ring_dispatches == 0
+            assert backend.raw_dispatches > 0
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: membership-shipped supernode queries
+# ---------------------------------------------------------------------------
+
+class TestGroupRouting:
+    def _loaded_pair(self, shared_backend, n=40, k=60, seed=21):
+        seq, shm = _family_pair(shared_backend, n=n)
+        us, vs = _random_edges(n, k, seed=seed)
+        ones = np.ones(k, dtype=np.int64)
+        seq.apply_edges_bulk(us, vs, ones)
+        shm.apply_edges_bulk(us, vs, ones)
+        return seq, shm
+
+    def test_group_queries_match_materialised_merges(self, shared_backend):
+        seq, shm = self._loaded_pair(shared_backend)
+        groups = [np.array([0, 1, 2, 3]), np.array([10]),
+                  np.array([20, 25, 30, 35, 39]), np.array([4, 5])]
+        for column in range(seq.columns):
+            z_seq, e_seq = seq.query_iteration_groups(groups, column)
+            z_shm, e_shm = shm.query_iteration_groups(groups, column)
+            assert np.array_equal(z_seq, z_shm)
+            assert e_seq == e_shm
+            # Ground truth: merge the member samplers in the parent.
+            merged = [
+                L0Sampler.merged(
+                    [L0Sampler(seq.randomness, seq.pool.matrix(int(s)))
+                     for s in group]
+                )
+                for group in groups
+            ]
+            z_ref, f_ref = L0Sampler.query_many(merged, column)
+            assert np.array_equal(z_ref, z_seq)
+            assert seq.decode_many(f_ref) == e_seq
+        assert np.array_equal(seq.cuts_empty_groups(groups),
+                              shm.cuts_empty_groups(groups))
+
+    def test_scan_group_matches_merged_column_scan(self, shared_backend):
+        seq, shm = self._loaded_pair(shared_backend, seed=22)
+        members = np.array([1, 3, 7, 12, 30])
+        cols = np.arange(seq.columns, dtype=np.int64)
+        zero_seq, edges_seq = seq.scan_group(members, cols)
+        zero_shm, edges_shm = shm.scan_group(members, cols)
+        assert zero_seq == zero_shm
+        assert edges_seq == edges_shm
+        merged = L0Sampler.merged(
+            [L0Sampler(seq.randomness, seq.pool.matrix(int(s)))
+             for s in members]
+        )
+        assert zero_seq == merged.is_zero()
+        assert edges_seq == seq.decode_many(merged.sample_columns(cols))
+
+    def test_group_validation(self, shared_backend):
+        seq, _ = _family_pair(shared_backend)
+        with pytest.raises(SketchError, match="empty"):
+            seq.query_iteration_groups([np.array([], dtype=np.int64)], 0)
+        with pytest.raises(SketchError, match="vertex range"):
+            seq.cuts_empty_groups([np.array([0, 40])])
+        zeros, edges = seq.query_iteration_groups([], 0)
+        assert zeros.shape == (0,) and edges == []
+
+    def test_group_split_spreads_over_workers(self, shared_backend):
+        _, shm = self._loaded_pair(shared_backend, seed=23)
+        groups = [np.arange(10), np.arange(10, 20), np.arange(20, 30),
+                  np.arange(30, 40)]
+        shm.query_iteration_groups(groups, 0)
+        split = shared_backend.last_split
+        assert sum(split.values()) == 40
+        assert len(split) == WORKERS, (
+            "balanced groups must spread across the fleet"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Satellite: deletion-heavy mixes stay bit-identical across backends
+# ---------------------------------------------------------------------------
+
+class TestDeletionHeavyMix:
+    def test_deletion_heavy_interleaving_parity(self, shared_backend):
+        """>=30% deletions with insert->delete->reinsert churn of the
+        same edges across phases: sketch cells, forests, and stats must
+        stay bit-identical between the backends."""
+        from repro.types import dele, ins
+
+        n = 40
+        a = MPCConnectivity(_seq_config(n))
+        b = MPCConnectivity(_shm_config(n))
+        us, vs = _random_edges(n, 30, seed=41)
+        edges = list(zip(us.tolist(), vs.tolist()))
+        phases = [
+            [ins(u, v) for u, v in edges[:20]],
+            # Phase 2: 10 inserts + 10 deletes (50% deletions).
+            [ins(u, v) for u, v in edges[20:]]
+            + [dele(u, v) for u, v in edges[:10]],
+            # Phase 3: reinsert 6 of the deleted edges, delete 6 more
+            # (50% deletions), churning the same coordinates again.
+            [ins(u, v) for u, v in edges[:6]]
+            + [dele(u, v) for u, v in edges[10:16]],
+            # Phase 4: delete-only (100% deletions), incl. reinserted.
+            [dele(u, v) for u, v in edges[:4]],
+        ]
+        total = sum(len(p) for p in phases)
+        deletions = sum(1 for p in phases for up in p if up.is_delete)
+        assert deletions / total >= 0.30
+        for batch in phases:
+            a.apply_batch(list(batch))
+            b.apply_batch(list(batch))
+            assert np.array_equal(a.family.pool.cells,
+                                  b.family.pool.cells)
+        assert a.num_components() == b.num_components()
+        assert sorted(a.forest.all_edges()) == sorted(b.forest.all_edges())
+        assert a.stats == b.stats
+
+
+# ---------------------------------------------------------------------------
+# Satellite: env-knob validation at read time
+# ---------------------------------------------------------------------------
+
+class TestEnvValidation:
+    @pytest.mark.parametrize("value", ["abc", "-1", "", "1.5", "0"])
+    def test_garbage_worker_count_raises_sketch_error(
+        self, monkeypatch, value
+    ):
+        monkeypatch.setenv("REPRO_BACKEND_WORKERS", value)
+        with pytest.raises(SketchError, match="REPRO_BACKEND_WORKERS"):
+            default_worker_count()
+        # The same validation guards the factory path.
+        with pytest.raises(SketchError, match="REPRO_BACKEND_WORKERS"):
+            get_backend("shared_memory")
+
+    @pytest.mark.parametrize("value", ["abc", "-1", "", "0", "nan"])
+    def test_garbage_timeout_raises_sketch_error(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BACKEND_TIMEOUT", value)
+        # Validated before any worker spawns: the raise is immediate.
+        with pytest.raises(SketchError, match="REPRO_BACKEND_TIMEOUT"):
+            SharedMemoryBackend(num_workers=1)
+
+    def test_valid_env_values_accepted(self, monkeypatch):
+        from repro.mpc.backend import _env_float
+
+        monkeypatch.setenv("REPRO_BACKEND_WORKERS", " 3 ")
+        assert default_worker_count() == 3
+        # Only exercise the parse, not a full fleet spawn.
+        monkeypatch.setenv("REPRO_BACKEND_TIMEOUT", "30.5")
+        assert _env_float("REPRO_BACKEND_TIMEOUT", 120.0) == 30.5
+
+    def test_explicit_timeout_bypasses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_TIMEOUT", "garbage")
+        backend = SharedMemoryBackend(num_workers=1, call_timeout=15.0)
+        try:
+            assert backend.call_timeout == 15.0
+        finally:
+            backend.close()
 
 
 # ---------------------------------------------------------------------------

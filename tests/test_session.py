@@ -594,3 +594,106 @@ class TestDeterministicShutdown:
         session.ingest([(0, 1), (1, 2)])
         session.close()
         assert session.connected(0, 2)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: close() after failed / partial restore
+# ---------------------------------------------------------------------------
+
+class TestCloseAfterPartialRestore:
+    def _checkpoint(self, tmp_path, backend: str = "sequential") -> str:
+        path = os.fspath(tmp_path / "session.ckpt")
+        with GraphSession(N, tasks=("connectivity",),
+                          config=_config(backend)) as session:
+            session.ingest(_insert_stream())
+            session.checkpoint(path)
+            if backend != "sequential":
+                session.close(close_backend=False)
+        return path
+
+    def test_failed_restore_rolls_back_and_checkpoint_survives(
+            self, tmp_path):
+        from repro.errors import SketchError
+        from repro.mpc.backend import ExecutionBackend
+
+        path = self._checkpoint(tmp_path)
+
+        class Exploding(ExecutionBackend):
+            name = "exploding"
+
+            def attach_pool(self, pool, randomness):
+                raise SketchError("simulated attach failure")
+
+        with pytest.raises(SketchError, match="simulated attach"):
+            GraphSession.restore(path, backend=Exploding())
+        # The rollback left nothing half-attached: the same checkpoint
+        # restores cleanly afterwards and answers correctly.
+        restored = GraphSession.restore(path)
+        assert restored.connected(0, 12)
+        restored.close()
+
+    def test_close_never_forces_the_lazy_backend(self, tmp_path,
+                                                 monkeypatch):
+        """A session whose backend property was never forced is torn
+        down without materialising a worker fleet first."""
+        path = self._checkpoint(tmp_path)
+        session = GraphSession.restore(path)
+        # Put the cluster back into the never-forced lazy state a
+        # partial restore leaves behind (families already detached).
+        for alg in session._all_algorithms():
+            for family in alg._sketch_families():
+                family.detach_backend()
+        session.cluster._backend = None
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "close() must not resolve the lazy backend"
+            )
+
+        monkeypatch.setattr("repro.mpc.simulator.resolve_backend", boom)
+        monkeypatch.setattr("repro.mpc.backend.resolve_backend", boom)
+        session.close()          # must not spawn / resolve anything
+        assert session.closed
+        session.close()          # and double-close stays a no-op
+
+    def test_double_close_on_inconsistent_session(self):
+        session = GraphSession(N, tasks=("connectivity",
+                                         "bipartiteness"),
+                               config=_config("sequential"))
+        session.ingest([(0, 1)])
+
+        def boom(batch):
+            raise RuntimeError("boom")
+
+        session.query("bipartiteness").apply_batch = boom
+        with pytest.raises(RuntimeError, match="boom"):
+            session.apply_batch([(1, 2)])
+        # Latched inconsistent: close() still works, twice, quietly.
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_restore_reattaches_through_live_rings(self, tmp_path):
+        """Checkpoint under shared memory, restore onto a *fresh*
+        private fleet: the re-attach routes continued small-batch
+        ingestion through the new backend's descriptor rings."""
+        path = self._checkpoint(tmp_path, backend="shared_memory")
+        fresh = SharedMemoryBackend(num_workers=2)
+        try:
+            restored = GraphSession.restore(path, backend=fresh)
+            before = fresh.ring_dispatches
+            restored.ingest([(40, 41), (41, 42)])
+            assert fresh.ring_dispatches > before
+            assert restored.connected(40, 42)
+            reference = GraphSession(N, tasks=("connectivity",),
+                                     config=_config("sequential"))
+            reference.ingest(_insert_stream())
+            reference.ingest([(40, 41), (41, 42)])
+            assert np.array_equal(
+                restored.query("connectivity").family.pool.cells,
+                reference.query("connectivity").family.pool.cells,
+            )
+            reference.close()
+            restored.close(close_backend=False)
+        finally:
+            fresh.close()

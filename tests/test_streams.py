@@ -179,3 +179,61 @@ class TestBatching:
 
         gen = iter_batches(endless(), 4)
         assert [len(next(gen)) for _ in range(3)] == [4, 4, 4]
+
+    def test_iter_batches_empty_source_yields_nothing(self):
+        # Never an empty Batch: an empty phase would still charge
+        # routing downstream.
+        assert list(iter_batches([], 5)) == []
+        assert list(iter_batches(iter(()), 1)) == []
+        with pytest.raises(StopIteration):
+            next(iter_batches((u for u in ()), 3))
+
+    def test_iter_batches_source_error_keeps_partial_batch(self):
+        # A source that dies mid-fill must not drop the updates already
+        # pulled: a subsequent next() resumes with them, in order.
+        ups = erdos_renyi_insertions(20, 7, seed=5)
+        state = {"fail": True}
+
+        def flaky():
+            for i, up in enumerate(ups):
+                if state["fail"] and i == 5:
+                    raise OSError("transient source hiccup")
+                yield up
+
+        gen = iter_batches(flaky(), 4)
+        assert list(next(gen)) == list(ups[:4])
+        with pytest.raises(OSError):
+            next(gen)           # pulled ups[4] before the hiccup
+        state["fail"] = False
+        # The retained item leads the next batch; nothing was lost and
+        # nothing is duplicated (the failed generator is spent, so the
+        # resume only sees what was already buffered).
+        assert list(next(gen)) == [ups[4]]
+        assert list(iter_batches(flaky(), 4)) and True  # flaky reusable
+
+    def test_iter_batches_resumable_after_partial_resume(self):
+        # The retained partial batch composes with a still-live source:
+        # buffered items stay at the front of the next batch.
+        ups = erdos_renyi_insertions(30, 10, seed=6)
+        source = iter(ups)
+        gen = iter_batches(source, 4)
+        first = next(gen)
+        assert list(first) == list(ups[:4])
+        # Simulate an abandoned fill: stuff the buffer the way a
+        # mid-fill interruption leaves it, then resume.
+        gen._pending.append(next(source))
+        assert list(next(gen)) == list(ups[4:8])
+        assert list(next(gen)) == list(ups[8:])
+
+    def test_iter_batches_abandonment_loses_no_source_items(self):
+        # Walking away from the iterator (break / del) must leave the
+        # source exactly at the boundary of what was delivered, so a
+        # fresh iter_batches over the same source resumes seamlessly.
+        ups = erdos_renyi_insertions(20, 12, seed=7)
+        source = iter(ups)
+        for batch in iter_batches(source, 5):
+            assert list(batch) == list(ups[:5])
+            break               # abandon mid-stream
+        resumed = list(iter_batches(source, 5))
+        flat = [up for b in resumed for up in b]
+        assert flat == list(ups[5:])
