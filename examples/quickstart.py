@@ -36,7 +36,7 @@ the cluster backend)::
 
     REPRO_BACKEND=shared_memory REPRO_BACKEND_WORKERS=2 python ...
 
-Three ``REPRO_BACKEND*`` knobs exist, all validated at read time -- a
+Six ``REPRO_BACKEND*`` knobs exist, all validated at read time -- a
 garbage value raises a clear error naming the variable instead of
 failing deep inside backend startup:
 
@@ -45,9 +45,28 @@ failing deep inside backend startup:
 * ``REPRO_BACKEND_WORKERS`` -- worker-process count, an integer >= 1;
   anything else (``abc``, ``-1``, ``""``) raises ``SketchError``.
 * ``REPRO_BACKEND_TIMEOUT`` -- per-call deadline in seconds (positive
-  number, default 120): a deadlocked or dead worker surfaces as
-  ``SketchError`` within this bound instead of hanging the phase.
-  Garbage values raise ``SketchError`` at backend construction.
+  number, default 120): a deadlocked or dead worker is *detected*
+  within this bound instead of hanging the phase.
+* ``REPRO_BACKEND_RETRIES`` -- how many times a dispatch that lost a
+  worker is retried after respawning it (integer >= 0, default 2).
+* ``REPRO_BACKEND_BACKOFF`` -- exponential-backoff base between those
+  retries, in seconds (positive number, default 0.05).
+* ``REPRO_BACKEND_FAULTS`` -- deterministic fault-injection plan for
+  the worker fleet (see :mod:`repro.mpc.faults`), e.g.
+  ``kill:w=1:n=3:op=apply`` or ``chaos:kill:every=400:seed=0`` -- how
+  the CI chaos job proves recovery keeps the suite green.
+
+Worker loss is no longer fatal: the supervisor respawns the dead
+process, re-attaches its shard state (the shared-memory segments
+survive the child), and retries the in-flight call.  If retries are
+exhausted the backend *degrades* -- every later op runs in-process
+through the same one-source-of-truth cores, so answers stay
+bit-identical and the session keeps working; only the parallelism is
+lost.  ``session.fleet_health()`` exposes the cumulative respawn /
+retry / degrade counters, the ``fleet`` column of
+``session.report()`` shows the per-phase deltas, and
+``backend.describe()`` appends the nonzero counters (plus a
+``degraded`` flag) to its summary.
 
 On the shared-memory backend, small batches ship through preallocated
 per-worker ring buffers (only a tiny ``(seq, offset, length)`` token

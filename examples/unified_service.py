@@ -90,6 +90,13 @@ def main() -> None:
     print_table(session.summary(),
                 title="per-task summary (shared cluster and validator)")
 
+    # Fleet health: zeros on the sequential backend; under
+    # shared_memory it counts worker respawns / dispatch retries /
+    # degrades the supervisor performed (also in report()'s "fleet"
+    # column, per phase).
+    health = session.fleet_health()
+    print(f"fleet health: {health or 'no supervised fleet'}")
+
     session.close()
     restored.close()
     print(f"closed: {session!r}")

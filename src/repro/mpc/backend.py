@@ -79,13 +79,51 @@ and the worker acknowledges on the existing liveness channel only
 region that is still being read -- the single-writer/single-reader ring
 needs no locks.
 
-*Crash semantics.*  A worker death mid-call is detected by the same
-liveness poll as before (``SketchError``, backend marked broken); the
-parent owns the ring segments and unlinks them on :meth:`close`, while
-workers hold only name-based attachments that die with their process.
-Rings are process-local execution state: checkpoints never contain
-them, and a checkpoint restored onto a fresh backend simply attaches
-its pools to that backend's own rings.
+*Crash semantics.*  The parent owns the ring segments and unlinks them
+on :meth:`close` (or when the fleet degrades); workers hold only
+name-based attachments that die with their process.  Rings are
+process-local execution state: checkpoints never contain them, and a
+checkpoint restored onto a fresh backend simply attaches its pools to
+that backend's own rings.
+
+Self-healing supervisor
+-----------------------
+A lost worker no longer bricks the backend.  Every routed dispatch runs
+under a supervisor loop (:meth:`SharedMemoryBackend._dispatch_ops`):
+
+* **Detection** -- a dead worker (liveness poll), a hung worker (the
+  ``REPRO_BACKEND_TIMEOUT`` call deadline), and a rejected ring record
+  (transport desync) all surface as per-worker transport failures, not
+  exceptions.
+* **Recovery** -- the failed worker is killed (if still wedged) and
+  respawned in place: fresh process and pipe, ring seq/offset and
+  status slot reset, and every registered pool re-attached by replaying
+  its token through the new pipe -- the shared-memory segments
+  themselves survived the child, so no sketch state is lost.  The
+  failed share of the dispatch is then retried with bounded exponential
+  backoff (``REPRO_BACKEND_RETRIES`` attempts beyond the first, base
+  delay ``REPRO_BACKEND_BACKOFF`` seconds -- validated at read time
+  like every other knob).
+* **Scatter safety** -- a small shared **status slot** per worker makes
+  mutating retries provably safe: the worker writes ``-opid`` before
+  executing a routed op and ``+opid`` after, so the parent can classify
+  a lost scatter as *never started* (safe to retry), *completed with
+  the ack lost* (counted as success, never re-applied), or *partial*
+  (the one unrecoverable case: the backend latches broken rather than
+  serve corrupt cells).
+* **Graceful degradation** -- when retries are exhausted (or a respawn
+  itself fails), the backend *degrades* instead of breaking: the
+  remaining shares of the in-flight call, and every later call, execute
+  in-process through the same one-source-of-truth cores
+  (``pool_scatter`` / ``query_cells`` / ``merge_group_cells``), so
+  answers stay bit-identical -- only the parallelism is lost.  A
+  degraded backend keeps ``usable`` true and reports itself in
+  :meth:`describe`.
+
+Respawn / retry / degrade counts are exposed via ``health_counters()``
+and flow into :class:`~repro.mpc.metrics.PhaseMetrics` and
+``GraphSession.report()``.  Deterministic fault injection for all of
+the above lives in :mod:`repro.mpc.faults` (``REPRO_BACKEND_FAULTS``).
 """
 
 from __future__ import annotations
@@ -103,6 +141,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, SketchError
+from repro.mpc.faults import FaultPlan
 from repro.mpc.partition import VertexPartition
 
 #: Environment knobs: backend name and worker count used when a config /
@@ -112,6 +151,11 @@ ENV_WORKERS = "REPRO_BACKEND_WORKERS"
 #: Seconds a single backend call may wait on workers before the call is
 #: declared dead (deadlocked worker -> SketchError instead of a hang).
 ENV_TIMEOUT = "REPRO_BACKEND_TIMEOUT"
+#: Supervisor knobs: retry attempts after respawning lost workers
+#: (integer >= 0, default 2) and the exponential-backoff base between
+#: attempts in seconds (positive, default 0.05).
+ENV_RETRIES = "REPRO_BACKEND_RETRIES"
+ENV_BACKOFF = "REPRO_BACKEND_BACKOFF"
 
 SEQUENTIAL = "sequential"
 SHARED_MEMORY = "shared_memory"
@@ -241,6 +285,11 @@ class ExecutionBackend:
     name: str = "abstract"
     parallel: bool = False
     num_workers: int = 1
+    #: Why the backend fell back to a degraded execution mode, or
+    #: ``None`` while healthy.  Only supervised parallel backends ever
+    #: set it; a degraded backend stays ``usable`` (answers are
+    #: bit-identical, only the parallelism is lost).
+    degraded: Optional[str] = None
     #: True for instances handed out by the process-wide factory cache
     #: (:func:`get_backend`): many clusters/sessions share them, so
     #: owner-style teardown (``Cluster.close``, ``GraphSession.close``)
@@ -320,6 +369,13 @@ class ExecutionBackend:
     @property
     def usable(self) -> bool:
         return True
+
+    def health_counters(self) -> Dict[str, int]:
+        """Cumulative fleet-health events (``respawns`` / ``retries`` /
+        ``degrades`` / ``faults_injected``).  Empty when the backend
+        has no fleet to supervise; the cluster metrics snapshot this
+        around each phase to attribute events per phase."""
+        return {}
 
     def describe(self) -> str:
         return f"{self.name}(workers={self.num_workers})"
@@ -442,23 +498,17 @@ def _split_groups(members: np.ndarray,
     return np.split(members, np.cumsum(glens)[:-1])
 
 
-def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None
-                 ) -> None:
-    """Persistent worker loop: attach pools, scatter, answer queries.
+def _execute_op(op: str, cells: np.ndarray, randomness,
+                args: List[np.ndarray]):
+    """One routed op over descriptor arrays.
 
-    Runs in a *spawned* process: everything it needs arrives through
-    the pipe (small commands, spawn-safe randomness params), the
-    descriptor ring (index-array payloads, see the module docstring's
-    wire protocol), or the named shared-memory cell blocks.  All heavy
-    math is the same vectorized code the sequential backend runs --
-    :func:`repro.sketch.sparse_recovery.pool_scatter` and the
-    ``*_cells`` query cores -- so results are bit-identical by
-    construction.
+    The single source of truth shared by the worker processes and the
+    parent's degraded-mode fallback (:meth:`SharedMemoryBackend.
+    _run_local`): the same vectorized cores the sequential backend
+    runs, so answers are bit-identical wherever the op executes.  Mass
+    bookkeeping is deliberately *not* here -- it stays with the caller
+    of ``scatter_edges``, the single parent-side trigger point.
     """
-    # Imports happen in the child; keep them inside so the parent's
-    # module import stays cheap and cycle-free.
-    from multiprocessing import shared_memory
-
     from repro.sketch.l0_sampler import (
         is_zero_cells,
         query_cells,
@@ -469,6 +519,60 @@ def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None
     )
     from repro.sketch.sparse_recovery import pool_scatter
 
+    if op == "apply":
+        slots, idxs, deltas = args
+        col_levels = randomness.levels_of_many(idxs)
+        zpows = randomness.zpow_many(idxs)
+        _, _, columns, levels = cells.shape
+        pool_scatter(cells.reshape(-1), columns, levels, slots,
+                     col_levels, idxs, deltas, zpows)
+        return None
+    if op == "query":
+        slots, cols = args
+        return query_cells(cells[slots], cols, randomness)
+    if op == "sample":
+        slots, cols = args
+        return sample_cells(cells[slots], cols, randomness)
+    if op == "is_zero":
+        (slots,) = args
+        return is_zero_cells(cells[slots])
+    if op == "gquery":
+        glens, members, cols = args
+        return query_group_cells(cells, _split_groups(members, glens),
+                                 cols, randomness)
+    if op == "gzero":
+        glens, members = args
+        return zero_group_cells(cells, _split_groups(members, glens))
+    if op == "gscan":
+        members, cols = args
+        return scan_group_cells(cells, members, cols, randomness)
+    raise ValueError(f"unknown backend op {op!r}")
+
+
+def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None,
+                 status_name: Optional[str] = None) -> None:
+    """Persistent worker loop: attach pools, scatter, answer queries.
+
+    Runs in a *spawned* process: everything it needs arrives through
+    the pipe (small commands, spawn-safe randomness params), the
+    descriptor ring (index-array payloads, see the module docstring's
+    wire protocol), or the named shared-memory cell blocks.  All heavy
+    math goes through :func:`_execute_op` -- the same vectorized code
+    the sequential backend runs -- so results are bit-identical by
+    construction.
+
+    Routed ops carry a per-worker monotone ``opid``; the worker writes
+    ``-opid`` into its status slot before executing and ``+opid``
+    after, so the parent supervisor can classify a crash as
+    not-started / partial / completed (module docstring).  Transport-
+    layer failures (ring seq gap, truncated record) reply with a
+    ``("desync", reason)`` tag so the parent respawns-and-retries
+    instead of treating them as application errors.
+    """
+    # Imports happen in the child; keep them inside so the parent's
+    # module import stays cheap and cycle-free.
+    from multiprocessing import shared_memory
+
     pools: Dict[int, tuple] = {}
     ring = None
     ring_view = None
@@ -476,45 +580,18 @@ def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None
         ring = shared_memory.SharedMemory(name=ring_name)
         ring_view = np.ndarray((ring.size // 8,), dtype=np.int64,
                                buffer=ring.buf)
+    status = None
+    status_view = None
+    if status_name is not None:
+        status = shared_memory.SharedMemory(name=status_name)
+        status_view = np.ndarray((status.size // 8,), dtype=np.int64,
+                                 buffer=status.buf)
     expected_seq = 1
+    drop_next_ack = False
 
     def run_op(op: str, token: int, args: List[np.ndarray]):
-        """One routed op over descriptor arrays (ring or pipe alike)."""
-        if op == "apply":
-            slots, idxs, deltas = args
-            _, cells, randomness = pools[token]
-            col_levels = randomness.levels_of_many(idxs)
-            zpows = randomness.zpow_many(idxs)
-            _, _, columns, levels = cells.shape
-            pool_scatter(cells.reshape(-1), columns, levels, slots,
-                         col_levels, idxs, deltas, zpows)
-            return None
-        if op == "query":
-            slots, cols = args
-            _, cells, randomness = pools[token]
-            return query_cells(cells[slots], cols, randomness)
-        if op == "sample":
-            slots, cols = args
-            _, cells, randomness = pools[token]
-            return sample_cells(cells[slots], cols, randomness)
-        if op == "is_zero":
-            (slots,) = args
-            _, cells, _ = pools[token]
-            return is_zero_cells(cells[slots])
-        if op == "gquery":
-            glens, members, cols = args
-            _, cells, randomness = pools[token]
-            return query_group_cells(cells, _split_groups(members, glens),
-                                     cols, randomness)
-        if op == "gzero":
-            glens, members = args
-            _, cells, _ = pools[token]
-            return zero_group_cells(cells, _split_groups(members, glens))
-        if op == "gscan":
-            members, cols = args
-            _, cells, randomness = pools[token]
-            return scan_group_cells(cells, members, cols, randomness)
-        raise ValueError(f"unknown backend op {op!r}")
+        _, cells, randomness = pools[token]
+        return _execute_op(op, cells, randomness, args)
 
     while True:
         try:
@@ -525,6 +602,14 @@ def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None
         if op == "stop":
             conn.send(("ok", None))
             break
+        if op == "fault":
+            # One-way injected fault (repro.mpc.faults); never acked.
+            _, kind, seconds = cmd
+            if kind in ("hang", "delay"):
+                time.sleep(seconds)
+            elif kind == "drop":
+                drop_next_ack = True
+            continue
         try:
             if op == "ping":
                 conn.send(("ok", worker_id))
@@ -548,30 +633,56 @@ def _worker_main(worker_id: int, conn, ring_name: Optional[str] = None
                     except BufferError:  # pragma: no cover
                         pass
                 conn.send(("ok", None))
-            elif op == "rb":
-                # Ring-transported descriptor: the payload sits in the
-                # shared ring; the token is all the pipe carried.
-                _, real_op, token, seq, offset, words = cmd
-                if ring_view is None:
-                    raise RuntimeError("ring token without a ring")
-                if seq != expected_seq:
-                    raise RuntimeError(
-                        f"ring transport desync: expected seq "
-                        f"{expected_seq}, got {seq}"
-                    )
-                expected_seq += 1
-                args = _ring_read(ring_view, offset, words)
-                conn.send(("ok", run_op(real_op, token, args)))
             else:
-                conn.send(("ok", run_op(op, cmd[1], list(cmd[2:]))))
+                # A routed op: decode the descriptor (ring or pipe),
+                # then execute inside status-slot brackets.
+                if op == "rb":
+                    # Ring-transported descriptor: the payload sits in
+                    # the shared ring; the pipe carried only the token.
+                    _, real_op, token, seq, offset, words, opid = cmd
+                    try:
+                        if ring_view is None:
+                            raise RuntimeError(
+                                "ring token without a ring")
+                        if seq != expected_seq:
+                            raise RuntimeError(
+                                f"ring transport desync: expected seq "
+                                f"{expected_seq}, got {seq}"
+                            )
+                        expected_seq += 1
+                        args = _ring_read(ring_view, offset, words)
+                    except Exception as exc:
+                        # Transport-layer failure: tagged so the parent
+                        # respawns this worker and retries, instead of
+                        # surfacing a deterministic application error.
+                        conn.send(("desync", str(exc)))
+                        continue
+                else:
+                    real_op, token, opid = op, cmd[1], cmd[2]
+                    args = list(cmd[3:])
+                suppress_ack, drop_next_ack = drop_next_ack, False
+                if status_view is not None:
+                    status_view[worker_id] = -opid
+                payload = run_op(real_op, token, args)
+                if status_view is not None:
+                    status_view[worker_id] = opid
+                if not suppress_ack:
+                    conn.send(("ok", payload))
         except Exception:
             conn.send(("error", traceback.format_exc()))
-    if ring is not None:
-        del ring_view
-        try:
-            ring.close()
-        except BufferError:  # pragma: no cover
-            pass
+    for seg, view in ((ring, ring_view), (status, status_view)):
+        if seg is not None:
+            del view
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover
+                pass
+
+
+class _RespawnFailed(RuntimeError):
+    """A replacement worker could not be brought up (spawn, handshake,
+    or attach replay failed): the supervisor degrades instead of
+    retrying forever."""
 
 
 class SharedMemoryBackend(ExecutionBackend):
@@ -592,7 +703,10 @@ class SharedMemoryBackend(ExecutionBackend):
     def __init__(self, num_workers: Optional[int] = None,
                  call_timeout: Optional[float] = None,
                  start_timeout: float = 120.0,
-                 ring_words: int = DEFAULT_RING_WORDS):
+                 ring_words: int = DEFAULT_RING_WORDS,
+                 retries: Optional[int] = None,
+                 backoff: Optional[float] = None,
+                 faults: "FaultPlan | str | None" = None):
         super().__init__()
         self.num_workers = (num_workers if num_workers is not None
                             else default_worker_count())
@@ -600,16 +714,42 @@ class SharedMemoryBackend(ExecutionBackend):
             raise ConfigurationError("need at least one worker")
         self.call_timeout = (call_timeout if call_timeout is not None
                              else _env_float(ENV_TIMEOUT, 120.0))
+        self.start_timeout = float(start_timeout)
+        if retries is None:
+            env = _env_int(ENV_RETRIES, minimum=0)
+            retries = env if env is not None else 2
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        self.retries = int(retries)
+        if backoff is None:
+            backoff = _env_float(ENV_BACKOFF, 0.05)
+        if backoff < 0:
+            raise ConfigurationError("backoff must be >= 0 seconds")
+        self.backoff = float(backoff)
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults, source="faults")
+        self._faults = faults if faults is not None else FaultPlan.from_env()
+        #: Cumulative fleet-health events; snapshot via
+        #: :meth:`health_counters`, surfaced in :meth:`describe` and the
+        #: per-phase metrics rows.
+        self.health: Dict[str, int] = {
+            "respawns": 0, "retries": 0, "degrades": 0,
+            "faults_injected": 0,
+        }
+        self.degraded = None
         self._tokens = itertools.count()
         self._handles: Dict[int, "object"] = {}  # token -> SharedMemory
+        #: token -> (cells shape, randomness): everything a respawned
+        #: worker needs to replay the pool's attach command.
+        self._pool_meta: Dict[int, tuple] = {}
         self._closed = False
         self._broken: Optional[str] = None
         self._in_dispatch = False
         #: Tokens whose worker-side detach is deferred: pool finalizers
         #: can fire from GC at any allocation point -- including inside
-        #: an in-flight :meth:`_dispatch` -- and sending on the pipes
-        #: reentrantly would desync the request/ack protocol.  The
-        #: queue drains at the next top-level call.
+        #: an in-flight dispatch -- and sending on the pipes reentrantly
+        #: would desync the request/ack protocol.  The queue drains at
+        #: the next top-level call.
         self._pending_detach: List[int] = []
         #: Descriptor rings, one per worker (module docstring has the
         #: wire protocol); ``ring_words=0`` disables the fast path so
@@ -622,9 +762,9 @@ class SharedMemoryBackend(ExecutionBackend):
         self._ring_offsets: List[int] = []
         self._ring_seqs: List[int] = []
         self._scan_cursor = 0
-        if self.ring_words > 0:
-            from multiprocessing import shared_memory
+        from multiprocessing import shared_memory
 
+        if self.ring_words > 0:
             for _ in range(self.num_workers):
                 shm = shared_memory.SharedMemory(
                     create=True, size=8 * self.ring_words
@@ -636,29 +776,31 @@ class SharedMemoryBackend(ExecutionBackend):
                 )
                 self._ring_offsets.append(0)
                 self._ring_seqs.append(0)
+        # One status slot per worker: the worker brackets each routed op
+        # with -opid / +opid writes so the supervisor can classify a
+        # lost op as not-started / partial / completed.
+        self._status = shared_memory.SharedMemory(
+            create=True, size=8 * self.num_workers
+        )
+        self._status_view: Optional[np.ndarray] = np.ndarray(
+            (self.num_workers,), dtype=np.int64, buffer=self._status.buf
+        )
+        self._status_view[:] = 0
+        self._op_ids = [0] * self.num_workers
         import multiprocessing as mp
 
-        ctx = mp.get_context("spawn")
-        self._procs = []
-        self._conns = []
-        for wid in range(self.num_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            ring_name = self._rings[wid].name if self._rings else None
-            proc = ctx.Process(target=_worker_main,
-                               args=(wid, child_conn, ring_name),
-                               daemon=True,
-                               name=f"repro-shm-worker-{wid}")
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-        self._conn_ids = {id(c): w for w, c in enumerate(self._conns)}
+        self._ctx = mp.get_context("spawn")
+        self._procs: List["object"] = [None] * self.num_workers
+        self._conns: List["object"] = [None] * self.num_workers
+        self._conn_ids: Dict[int, int] = {}
         try:
+            for wid in range(self.num_workers):
+                self._spawn_worker(wid)
             # Handshake: workers are up once they answer a ping (spawned
             # interpreters import numpy + repro, which takes a moment).
-            self._dispatch(
+            self._dispatch_control(
                 [(w, ("ping",)) for w in range(self.num_workers)],
-                timeout=start_timeout,
+                timeout=self.start_timeout,
             )
         except BaseException:
             self.close()
@@ -670,6 +812,9 @@ class SharedMemoryBackend(ExecutionBackend):
     def usable(self) -> bool:
         return not self._closed and self._broken is None
 
+    def health_counters(self) -> Dict[str, int]:
+        return dict(self.health)
+
     def _ensure_usable(self) -> None:
         if self._closed:
             raise SketchError("shared-memory backend is closed")
@@ -678,90 +823,429 @@ class SharedMemoryBackend(ExecutionBackend):
                 f"shared-memory backend is broken: {self._broken}"
             )
 
-    def _check_alive(self, pending) -> None:
-        for wid in pending:
-            proc = self._procs[wid]
-            if not proc.is_alive():
-                self._broken = (f"worker {wid} died "
-                                f"(exit code {proc.exitcode})")
-                raise SketchError(
-                    f"shared-memory worker {wid} died with exit code "
-                    f"{proc.exitcode}; sketch state may be incomplete"
-                )
+    # ------------------------------------------------------------------
+    # Supervisor: spawn / exchange / classify / respawn / degrade
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, wid: int) -> None:
+        """Start (or replace) worker ``wid``'s process and pipe."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        ring_name = self._rings[wid].name if self._rings else None
+        status_name = (self._status.name if self._status is not None
+                       else None)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, ring_name, status_name),
+            daemon=True, name=f"repro-shm-worker-{wid}",
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[wid] = proc
+        self._conns[wid] = parent_conn
+        self._conn_ids = {id(c): w for w, c in enumerate(self._conns)}
 
-    def _dispatch(self, jobs: List[tuple],
-                  timeout: Optional[float] = None,
-                  mutating: bool = False) -> Dict[int, object]:
-        """Send ``(worker_id, command)`` jobs, await one ack per job.
+    def _exchange(self, wire: List[tuple], timeout: Optional[float] = None
+                  ) -> Tuple[Dict[int, object], Dict[int, str],
+                             Dict[int, str]]:
+        """One fan-out/fan-in attempt over ``(worker_id, command)`` wire.
 
-        Returns ``{worker_id: payload}``.  A worker-side exception, a
-        dead worker, or a timeout surfaces as
-        :class:`~repro.errors.SketchError`; remaining acks are drained
-        first so the pipe protocol stays in sync after an error.  With
-        ``mutating`` set, a worker-side exception additionally marks
-        the backend broken: the other workers may already have
-        scattered their shards, so the pool state is partial and no
-        further calls may trust it.
+        Never raises on fleet trouble; instead returns
+        ``(results, failures, app_errors)`` where ``failures`` maps
+        worker id -> transport-level reason (dead pipe, death, timeout,
+        ring desync) and ``app_errors`` maps worker id -> traceback
+        text from a worker-side exception.  The supervisor decides what
+        each of those means.
         """
-        self._ensure_usable()
-        if not jobs:
-            return {}
         from multiprocessing import connection as mpc
 
         limit = timeout if timeout is not None else self.call_timeout
         deadline = time.monotonic() + limit
+        results: Dict[int, object] = {}
+        failures: Dict[int, str] = {}
+        app_errors: Dict[int, str] = {}
+        pending = set()
         self._in_dispatch = True
         try:
-            pending = set()
-            for wid, cmd in jobs:
+            for wid, cmd in wire:
                 try:
                     self._conns[wid].send(cmd)
                 except (BrokenPipeError, OSError):
-                    self._broken = f"worker {wid} died (pipe closed)"
-                    raise SketchError(
-                        f"shared-memory worker {wid} died (exit code "
-                        f"{self._procs[wid].exitcode}); sketch state may "
-                        f"be incomplete"
-                    )
+                    failures[wid] = "pipe closed on send"
+                    continue
                 pending.add(wid)
-            results: Dict[int, object] = {}
-            error: Optional[str] = None
             while pending:
                 ready = mpc.wait([self._conns[w] for w in pending],
                                  timeout=0.25)
                 if not ready:
-                    self._check_alive(pending)
-                    if time.monotonic() > deadline:
-                        self._broken = (f"call timed out; workers "
-                                        f"{sorted(pending)} unresponsive")
-                        raise SketchError(
-                            f"shared-memory backend call timed out after "
-                            f"{limit:.0f}s waiting on workers "
-                            f"{sorted(pending)} (deadlocked worker?)"
-                        )
+                    for wid in list(pending):
+                        proc = self._procs[wid]
+                        if not proc.is_alive():
+                            failures[wid] = (f"worker died (exit code "
+                                             f"{proc.exitcode})")
+                            pending.discard(wid)
+                    if pending and time.monotonic() > deadline:
+                        for wid in pending:
+                            failures[wid] = f"no ack within {limit:.0f}s"
+                        pending.clear()
                     continue
                 for conn in ready:
                     wid = self._conn_ids[id(conn)]
                     try:
                         status, payload = conn.recv()
                     except (EOFError, OSError):
-                        self._broken = f"worker {wid} hung up mid-call"
-                        raise SketchError(
-                            f"shared-memory worker {wid} died mid-call"
-                        )
+                        failures[wid] = "worker hung up mid-call"
+                        pending.discard(wid)
+                        continue
                     pending.discard(wid)
                     if status == "error":
-                        error = error or f"worker {wid} failed:\n{payload}"
+                        app_errors[wid] = payload
+                    elif status == "desync":
+                        failures[wid] = f"ring transport desync: {payload}"
                     else:
                         results[wid] = payload
-            if error is not None:
+            return results, failures, app_errors
+        finally:
+            self._in_dispatch = False
+
+    def _kill_worker(self, wid: int) -> None:
+        """SIGKILL worker ``wid`` (idempotent) and drop its pipe.
+
+        Killing is always state-safe: sketch cells live in the shared
+        segments, which belong to the parent.
+        """
+        proc = self._procs[wid]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=10.0)
+        try:
+            self._conns[wid].close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _respawn_worker(self, wid: int) -> None:
+        """Replace a lost worker in place and replay its shard state.
+
+        Fresh process and pipe; ring seq/offset, status slot, and opid
+        counter reset; every registered pool re-attached by replaying
+        its token (the shared-memory segments survived the child).
+        Wraps any startup trouble in :class:`_RespawnFailed` so the
+        caller degrades instead of crashing.
+        """
+        self.health["respawns"] += 1
+        self._kill_worker(wid)
+        if self._ring_offsets:
+            self._ring_offsets[wid] = 0
+            self._ring_seqs[wid] = 0
+        if self._status_view is not None:
+            self._status_view[wid] = 0
+        self._op_ids[wid] = 0
+        try:
+            self._spawn_worker(wid)
+            self._await_one(wid, ("ping",), timeout=self.start_timeout)
+            for token in sorted(self._handles):
+                shm = self._handles[token]
+                shape, randomness = self._pool_meta[token]
+                self._await_one(
+                    wid, ("attach", token, shm.name, shape, randomness),
+                    timeout=self.call_timeout,
+                )
+        except Exception as exc:
+            raise _RespawnFailed(
+                f"respawn of worker {wid} failed: {exc}"
+            ) from exc
+
+    def _await_one(self, wid: int, cmd: tuple, timeout: float) -> object:
+        """Send one command to one worker and wait for its ack."""
+        conn = self._conns[wid]
+        conn.send(cmd)
+        deadline = time.monotonic() + timeout
+        while not conn.poll(0.25):
+            if not self._procs[wid].is_alive():
+                raise RuntimeError(f"worker {wid} died during respawn")
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"worker {wid} unresponsive during respawn"
+                )
+        status, payload = conn.recv()
+        if status != "ok":
+            raise RuntimeError(
+                f"worker {wid} rejected {cmd[0]!r} during respawn:\n"
+                f"{payload}"
+            )
+        return payload
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Give up on the fleet; all later ops run in-process.
+
+        The pool segments are kept -- the parent's adopted cell views
+        live in them and the in-process cores keep operating on exactly
+        those bytes, so answers stay bit-identical.  Only the transport
+        (workers, pipes, rings, status slots) is torn down.
+        """
+        if self.degraded is not None:
+            return
+        self.degraded = reason
+        self.health["degrades"] += 1
+        self._pending_detach.clear()
+        for wid in range(self.num_workers):
+            proc = self._procs[wid]
+            if proc is None:
+                continue
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._release_transport()
+
+    def _release_transport(self) -> None:
+        """Unlink ring + status segments (views dropped first)."""
+        self._ring_views.clear()
+        rings, self._rings = self._rings, []
+        for shm in rings:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        status, self._status = self._status, None
+        self._status_view = None
+        if status is not None:
+            try:
+                status.close()
+            except BufferError:  # pragma: no cover
+                pass
+            try:
+                status.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def _run_local(self, handle: PoolHandle, op: str,
+                   arrays: List[np.ndarray]) -> object:
+        """Degraded-mode execution of one shard's op, in-process.
+
+        ``handle.pool.cells`` *is* the shared segment the workers were
+        writing (``adopt_buffer``), and :func:`_execute_op` is the same
+        code they ran, so completing a half-dispatched call locally is
+        bit-identical to the fleet finishing it.
+        """
+        return _execute_op(op, handle.pool.cells, handle.randomness,
+                           list(arrays))
+
+    def _classify_failures(self, failures: Dict[int, str],
+                           pending: Dict[int, tuple], mutating: bool,
+                           results: Dict[int, object]) -> None:
+        """Decide what each lost routed op means via the status slots.
+
+        Every failed worker is killed first (a hung-but-alive worker
+        might otherwise execute its queued op *after* the retry,
+        double-applying a scatter), then its status slot is read:
+
+        * ``+opid`` -- the op completed and only the ack was lost.  A
+          mutating op is counted as success (never re-applied); a query
+          is idempotent and simply retried.
+        * ``-opid`` on a mutating op -- the worker died mid-scatter:
+          the shard is partially updated and unrecoverable, so the
+          backend latches broken.
+        * anything else -- the op never started; retrying is safe.
+
+        Retryable shares stay in ``pending``; satisfied ones move to
+        ``results``.
+        """
+        for wid in sorted(failures):
+            reason = failures[wid]
+            opid = self._op_ids[wid]
+            self._kill_worker(wid)
+            slot = (int(self._status_view[wid])
+                    if self._status_view is not None else 0)
+            if slot == opid and mutating:
+                results[wid] = None
+                pending.pop(wid, None)
+                continue
+            if mutating and slot == -opid:
+                self._broken = (
+                    f"worker {wid} was lost mid-scatter ({reason}); "
+                    f"pool state is partial"
+                )
+                raise SketchError(
+                    f"shared-memory worker {wid} was lost mid-scatter "
+                    f"({reason}); sketch state may be incomplete"
+                )
+
+    def _inject_fault(self, fault, wid: int) -> None:
+        """Apply a planned fault to worker ``wid`` before a send."""
+        self.health["faults_injected"] += 1
+        if fault.kind == "kill":
+            self._kill_worker(wid)
+        elif fault.kind in ("hang", "delay", "drop"):
+            try:
+                self._conns[wid].send(("fault", fault.kind,
+                                       fault.seconds))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        # "truncate" is applied after the ring record is packed.
+
+    def _dispatch_ops(self, handle: PoolHandle, jobs: List[tuple],
+                      mutating: bool = False,
+                      timeout: Optional[float] = None
+                      ) -> Dict[int, object]:
+        """Supervised fan-out of routed ops; ``jobs`` are logical
+        ``(worker_id, op, arrays)`` shares.
+
+        Descriptors are packed into the rings *per attempt*, at send
+        time, so a share that is retried after a respawn is re-packed
+        against the fresh worker's reset seq state -- the recovered
+        transport can never read a stale record.  Worker-side
+        exceptions (deterministic application errors) raise
+        immediately; transport failures respawn-and-retry up to
+        ``self.retries`` times with exponential backoff, then degrade.
+        """
+        self._ensure_usable()
+        if not jobs:
+            return {}
+        if self.degraded is not None:
+            return {wid: self._run_local(handle, op, arrays)
+                    for wid, op, arrays in jobs}
+        pending: Dict[int, tuple] = {wid: (op, arrays)
+                                     for wid, op, arrays in jobs}
+        results: Dict[int, object] = {}
+        attempt = 0
+        while True:
+            wire: List[tuple] = []
+            for wid in sorted(pending):
+                op, arrays = pending[wid]
+                fault = (self._faults.draw(wid, op)
+                         if self._faults is not None else None)
+                if fault is not None:
+                    self._inject_fault(fault, wid)
+                self._op_ids[wid] += 1
+                opid = self._op_ids[wid]
+                packed = self._ring_pack(wid, arrays)
+                if packed is None:
+                    self.raw_dispatches += 1
+                    wire.append((wid, (op, handle.token, opid, *arrays)))
+                else:
+                    self.ring_dispatches += 1
+                    seq, offset, words = packed
+                    if fault is not None and fault.kind == "truncate":
+                        # Corrupt the packed record's header so the
+                        # worker's decoder rejects it as a desync.
+                        self._ring_views[wid][offset] = len(arrays) + 1
+                    wire.append((wid, ("rb", op, handle.token, seq,
+                                       offset, words, opid)))
+            res, failures, app_errors = self._exchange(wire,
+                                                       timeout=timeout)
+            results.update(res)
+            for wid in res:
+                pending.pop(wid, None)
+            if app_errors:
+                # Deterministic worker exceptions are the application's
+                # problem, not the fleet's: no respawn can fix them, so
+                # no retry.
                 if mutating:
                     self._broken = ("worker exception during a scatter "
                                     "left the pool partially updated")
-                raise SketchError(error)
-            return results
-        finally:
-            self._in_dispatch = False
+                raise SketchError("\n".join(
+                    f"worker {wid} failed:\n{tb}"
+                    for wid, tb in sorted(app_errors.items())
+                ))
+            if not failures:
+                return results
+            self._classify_failures(failures, pending, mutating, results)
+            if not pending:
+                # Every failure resolved as completed-with-lost-ack;
+                # bring the (killed) workers back for the next call.
+                try:
+                    for wid in sorted(failures):
+                        self._respawn_worker(wid)
+                except _RespawnFailed as exc:
+                    self._enter_degraded(str(exc))
+                return results
+            if attempt >= self.retries:
+                self._enter_degraded(
+                    "retries exhausted after "
+                    f"{attempt + 1} attempt(s): " + "; ".join(
+                        f"worker {w}: {failures[w]}"
+                        for w in sorted(failures))
+                )
+                break
+            attempt += 1
+            self.health["retries"] += 1
+            try:
+                for wid in sorted(failures):
+                    self._respawn_worker(wid)
+            except _RespawnFailed as exc:
+                self._enter_degraded(str(exc))
+                break
+            if self.backoff > 0:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+        # Degraded: finish the remaining shares in-process -- same
+        # cores, same shared cells, bit-identical results.
+        for wid in sorted(pending):
+            op, arrays = pending[wid]
+            results[wid] = self._run_local(handle, op, arrays)
+        return results
+
+    def _dispatch_control(self, jobs: List[tuple],
+                          timeout: Optional[float] = None
+                          ) -> Dict[int, object]:
+        """Supervised fan-out for control commands (ping / attach /
+        detach), ``jobs`` being ``(worker_id, command)`` pairs.
+
+        Control traffic is satisfied by recovery itself: a respawned
+        worker is pinged and re-attached to every *registered* pool
+        during :meth:`_respawn_worker`, and a detached token is no
+        longer registered, so a failed share is never re-sent -- the
+        respawn either already did the work or made it moot.
+        """
+        self._ensure_usable()
+        if not jobs or self.degraded is not None:
+            return {}
+        pending: Dict[int, tuple] = dict(jobs)
+        results: Dict[int, object] = {}
+        attempt = 0
+        while pending:
+            res, failures, app_errors = self._exchange(
+                sorted(pending.items()), timeout=timeout
+            )
+            results.update(res)
+            for wid in res:
+                pending.pop(wid, None)
+            if app_errors:
+                raise SketchError("\n".join(
+                    f"worker {wid} failed:\n{tb}"
+                    for wid, tb in sorted(app_errors.items())
+                ))
+            if not failures:
+                break
+            if attempt >= self.retries:
+                self._enter_degraded(
+                    "retries exhausted on control traffic: " + "; ".join(
+                        f"worker {w}: {failures[w]}"
+                        for w in sorted(failures))
+                )
+                return results
+            attempt += 1
+            self.health["retries"] += 1
+            for wid in sorted(failures):
+                self._kill_worker(wid)
+                try:
+                    self._respawn_worker(wid)
+                except _RespawnFailed as exc:
+                    self._enter_degraded(str(exc))
+                    return results
+                pending.pop(wid, None)
+                results[wid] = None
+            if self.backoff > 0:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+        return results
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -772,20 +1256,43 @@ class SharedMemoryBackend(ExecutionBackend):
         Must be called before the pool hands out row views (the
         :class:`~repro.sketch.graph_sketch.SketchFamily` constructor
         guarantees this ordering); existing cell contents are preserved.
+        On a degraded backend there is no fleet to place the pool on:
+        the handle simply routes every op through the in-process
+        fallback, keeping attach usable after recovery gave up.
         """
         self._ensure_usable()
         self._flush_detaches()
+        token = next(self._tokens)
+        shards = VertexPartition(pool.count, self.num_workers)
+        if self.degraded is not None:
+            return PoolHandle(pool=pool, randomness=randomness,
+                              token=token, shards=shards)
         from multiprocessing import shared_memory
 
-        token = next(self._tokens)
         shm = shared_memory.SharedMemory(create=True,
                                          size=pool.cells.nbytes)
-        cells = np.ndarray(pool.cells.shape, dtype=np.int64,
-                           buffer=shm.buf)
-        pool.adopt_buffer(cells)
-        self._handles[token] = shm
+        cells = None
         try:
-            self._dispatch([
+            cells = np.ndarray(pool.cells.shape, dtype=np.int64,
+                               buffer=shm.buf)
+            pool.adopt_buffer(cells)
+        except BaseException:
+            # Mid-attach failure: the fresh segment was never registered
+            # anywhere, so unlink it here or it leaks until reboot.
+            cells = None
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            raise
+        self._handles[token] = shm
+        self._pool_meta[token] = (pool.cells.shape, randomness)
+        try:
+            self._dispatch_control([
                 (w, ("attach", token, shm.name, pool.cells.shape,
                      randomness))
                 for w in range(self.num_workers)
@@ -793,10 +1300,8 @@ class SharedMemoryBackend(ExecutionBackend):
         except SketchError:
             self._release_token(token)
             raise
-        return PoolHandle(
-            pool=pool, randomness=randomness, token=token,
-            shards=VertexPartition(pool.count, self.num_workers),
-        )
+        return PoolHandle(pool=pool, randomness=randomness, token=token,
+                          shards=shards)
 
     def detach_pool(self, handle: PoolHandle) -> None:
         self.release_token(handle.token)
@@ -816,24 +1321,26 @@ class SharedMemoryBackend(ExecutionBackend):
         if token not in self._handles:
             return
         self._release_token(token)
-        if self.usable:
+        if self.usable and self.degraded is None:
             self._pending_detach.append(token)
 
     def _flush_detaches(self) -> None:
         """Send deferred worker-side detaches (top-level calls only)."""
-        if not self._pending_detach or self._in_dispatch or not self.usable:
+        if (not self._pending_detach or self._in_dispatch
+                or not self.usable or self.degraded is not None):
             return
         tokens, self._pending_detach = self._pending_detach, []
         for token in tokens:
-            # One dispatch per token: _dispatch keys acks by worker id,
-            # so a call may carry at most one command per worker.
+            # One dispatch per token: the exchange keys acks by worker
+            # id, so a call may carry at most one command per worker.
             try:
-                self._dispatch([(w, ("detach", token))
-                                for w in range(self.num_workers)])
+                self._dispatch_control([(w, ("detach", token))
+                                        for w in range(self.num_workers)])
             except SketchError:
                 return
 
     def _release_token(self, token: int) -> None:
+        self._pool_meta.pop(token, None)
         shm = self._handles.pop(token, None)
         if shm is None:
             return
@@ -884,22 +1391,16 @@ class SharedMemoryBackend(ExecutionBackend):
         self._ring_seqs[wid] += 1
         return self._ring_seqs[wid], offset, words
 
-    def _job(self, wid: int, op: str, token: int,
-             arrays: List[np.ndarray]) -> tuple:
-        """One ``(worker_id, command)`` job, ring-transported when the
-        descriptor fits (the small-batch fast path), pickled otherwise."""
-        packed = self._ring_pack(wid, arrays)
-        if packed is None:
-            self.raw_dispatches += 1
-            return (wid, (op, token, *arrays))
-        self.ring_dispatches += 1
-        seq, offset, words = packed
-        return (wid, ("rb", op, token, seq, offset, words))
-
     def _sharded_jobs(self, handle: PoolHandle, slots: np.ndarray,
                       payloads: List[np.ndarray],
                       op: str) -> Tuple[List[tuple], Dict[int, np.ndarray]]:
-        """Split entry arrays by owning worker; returns (jobs, masks)."""
+        """Split entry arrays by owning worker.
+
+        Returns logical ``(worker_id, op, arrays)`` shares plus the
+        per-worker entry masks.  Transport packing happens later, at
+        send time inside :meth:`_dispatch_ops`, so a retried share is
+        always re-packed against the respawned worker's reset ring.
+        """
         owners = handle.owners_of(slots)
         jobs: List[tuple] = []
         masks: Dict[int, np.ndarray] = {}
@@ -910,8 +1411,7 @@ class SharedMemoryBackend(ExecutionBackend):
                 continue
             masks[wid] = mask
             split[wid] = int(mask.size)
-            jobs.append(self._job(wid, op, handle.token,
-                                  [slots[mask],
+            jobs.append((wid, op, [slots[mask],
                                    *[p[mask] for p in payloads]]))
         self.last_split = split
         return jobs, masks
@@ -945,7 +1445,7 @@ class SharedMemoryBackend(ExecutionBackend):
             arrays = [glens, members]
             if cols is not None:
                 arrays.append(cols[idx])
-            jobs.append(self._job(wid, op, handle.token, arrays))
+            jobs.append((wid, op, arrays))
         self.last_split = split
         return jobs, masks
 
@@ -958,7 +1458,7 @@ class SharedMemoryBackend(ExecutionBackend):
         signed = np.concatenate([deltas, -deltas])
         jobs, _ = self._sharded_jobs(handle, slots, [all_idxs, signed],
                                      "apply")
-        self._dispatch(jobs, mutating=True)
+        self._dispatch_ops(handle, jobs, mutating=True)
         # Mass bookkeeping -- and any due renormalization -- happens in
         # the parent after the barrier, the same point in the update
         # order as the sequential path's apply_points.
@@ -968,7 +1468,7 @@ class SharedMemoryBackend(ExecutionBackend):
                    cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         self._flush_detaches()
         jobs, masks = self._sharded_jobs(handle, slots, [cols], "query")
-        results = self._dispatch(jobs)
+        results = self._dispatch_ops(handle, jobs)
         zeros = np.zeros(slots.shape[0], dtype=bool)
         found = np.full(slots.shape[0], -1, dtype=np.int64)
         for wid, payload in results.items():
@@ -981,7 +1481,7 @@ class SharedMemoryBackend(ExecutionBackend):
                     cols: np.ndarray) -> np.ndarray:
         self._flush_detaches()
         jobs, masks = self._sharded_jobs(handle, slots, [cols], "sample")
-        results = self._dispatch(jobs)
+        results = self._dispatch_ops(handle, jobs)
         found = np.full(slots.shape[0], -1, dtype=np.int64)
         for wid, payload in results.items():
             found[masks[wid]] = payload
@@ -991,7 +1491,7 @@ class SharedMemoryBackend(ExecutionBackend):
                   slots: np.ndarray) -> np.ndarray:
         self._flush_detaches()
         jobs, masks = self._sharded_jobs(handle, slots, [], "is_zero")
-        results = self._dispatch(jobs)
+        results = self._dispatch_ops(handle, jobs)
         zeros = np.zeros(slots.shape[0], dtype=bool)
         for wid, payload in results.items():
             zeros[masks[wid]] = payload
@@ -1002,7 +1502,7 @@ class SharedMemoryBackend(ExecutionBackend):
                      cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         self._flush_detaches()
         jobs, masks = self._group_jobs(handle, groups, cols, "gquery")
-        results = self._dispatch(jobs)
+        results = self._dispatch_ops(handle, jobs)
         zeros = np.zeros(len(groups), dtype=bool)
         found = np.full(len(groups), -1, dtype=np.int64)
         for wid, payload in results.items():
@@ -1015,7 +1515,7 @@ class SharedMemoryBackend(ExecutionBackend):
                     groups: "List[np.ndarray]") -> np.ndarray:
         self._flush_detaches()
         jobs, masks = self._group_jobs(handle, groups, None, "gzero")
-        results = self._dispatch(jobs)
+        results = self._dispatch_ops(handle, jobs)
         zeros = np.zeros(len(groups), dtype=bool)
         for wid, payload in results.items():
             zeros[masks[wid]] = payload
@@ -1029,8 +1529,8 @@ class SharedMemoryBackend(ExecutionBackend):
         wid = self._scan_cursor % self.num_workers
         self._scan_cursor += 1
         self.last_split = {wid: int(members.shape[0])}
-        results = self._dispatch(
-            [self._job(wid, "gscan", handle.token, [members, cols])]
+        results = self._dispatch_ops(
+            handle, [(wid, "gscan", [members, cols])]
         )
         zero, found = results[wid]
         return bool(zero), found
@@ -1042,39 +1542,43 @@ class SharedMemoryBackend(ExecutionBackend):
         self._closed = True
         self._pending_detach.clear()
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=2.0)
             if proc.is_alive():  # pragma: no cover
                 proc.terminate()
                 proc.join(timeout=1.0)
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
         for token in list(self._handles):
             self._release_token(token)
-        # Rings last: drop our views, then close + unlink each segment
-        # (workers only ever held name-based attachments).
-        self._ring_views.clear()
-        rings, self._rings = self._rings, []
-        for shm in rings:
-            try:
-                shm.close()
-            except BufferError:  # pragma: no cover
-                pass
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        # Transport last: drop our ring/status views, then close +
+        # unlink each segment (workers only ever held name-based
+        # attachments, which died with their processes).
+        self._release_transport()
 
     def describe(self) -> str:
-        return (f"{self.name}(workers={self.num_workers}, "
-                f"pools={len(self._handles)})")
+        bits = [f"workers={self.num_workers}",
+                f"pools={len(self._handles)}"]
+        labels = {"faults_injected": "faults"}
+        for key, value in self.health.items():
+            if value:
+                bits.append(f"{labels.get(key, key)}={value}")
+        if self.degraded is not None:
+            bits.append("degraded")
+        return f"{self.name}({', '.join(bits)})"
 
 
 # ---------------------------------------------------------------------------
@@ -1114,7 +1618,11 @@ def get_backend(name: Optional[str] = None,
         return _SEQUENTIAL_SINGLETON
     count = workers if workers is not None else default_worker_count()
     backend = _SHARED_CACHE.get(count)
-    if backend is None or not backend.usable:
+    if backend is None or not backend.usable or backend.degraded:
+        # A degraded cached backend is replaced (new callers deserve a
+        # fresh fleet) but NOT closed: sessions already holding it keep
+        # working -- degraded mode is fully functional -- and the atexit
+        # hook still tears it down.
         backend = SharedMemoryBackend(num_workers=count)
         backend.cached = True
         _SHARED_CACHE[count] = backend

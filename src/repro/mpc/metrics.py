@@ -42,6 +42,12 @@ class PhaseMetrics:
     #: backend -- so the ledger shows where work landed instead of
     #: lumping everything on machine 0.
     words_by_machine: Dict[int, int] = field(default_factory=dict)
+    #: Fleet-health events that occurred during the phase (worker
+    #: ``respawns`` / dispatch ``retries`` / ``degrades`` /
+    #: ``faults_injected``), as deltas of the execution backend's
+    #: cumulative ``health_counters()``.  Empty on backends with no
+    #: supervised fleet and in phases where nothing went wrong.
+    backend_events: Dict[str, int] = field(default_factory=dict)
 
     def row(self) -> Dict[str, object]:
         """Flatten into a dict suitable for table rendering."""
@@ -53,6 +59,8 @@ class PhaseMetrics:
             "words_sent": self.words_sent,
             "peak_total_memory": self.peak_total_memory,
             "violations": self.capacity_violations,
+            "fleet": " ".join(f"{k}={v}" for k, v
+                              in sorted(self.backend_events.items())),
         }
 
 
@@ -84,6 +92,10 @@ class ClusterMetrics:
         self.messages: int = 0
         self.words_sent: int = 0
         self.words_by_machine: Dict[int, int] = {}
+        #: Cumulative fleet-health events fed in by the cluster from its
+        #: execution backend at phase boundaries (see ``begin_phase`` /
+        #: ``end_phase`` ``health=`` parameters).
+        self.backend_events: Dict[str, int] = {}
         self.violations: List[CapacityViolation] = []
         self._memory: Dict[str, int] = {}
         self.peak_total_memory: int = 0
@@ -152,7 +164,11 @@ class ClusterMetrics:
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
-    def begin_phase(self, label: str) -> None:
+    def begin_phase(self, label: str,
+                    health: Optional[Dict[str, int]] = None) -> None:
+        """Open a phase.  ``health`` is the execution backend's
+        cumulative ``health_counters()`` at phase start; ``end_phase``
+        diffs against it to attribute fleet events to the phase."""
         if self._phase_label is not None:
             raise RuntimeError(
                 f"phase {self._phase_label!r} still open; nested phases "
@@ -167,6 +183,7 @@ class ClusterMetrics:
             "by_cat": dict(self.rounds_by_category),
             "by_machine": dict(self.words_by_machine),
             "peak": self.total_memory,
+            "health": dict(health or {}),
         }
         # Peak within the phase starts from the current footprint.
         self._phase_peak = self.total_memory
@@ -177,10 +194,21 @@ class ClusterMetrics:
             self._phase_peak = max(self._phase_peak, self.total_memory)
         self._update_peak()
 
-    def end_phase(self, batch_size: int = 0) -> PhaseMetrics:
+    def end_phase(self, batch_size: int = 0,
+                  health: Optional[Dict[str, int]] = None) -> PhaseMetrics:
         if self._phase_label is None:
             raise RuntimeError("no phase is open")
         start = self._phase_start
+        health_start = start.get("health", {})
+        health_delta = {
+            key: value - health_start.get(key, 0)  # type: ignore[union-attr]
+            for key, value in (health or {}).items()
+            if value - health_start.get(key, 0) > 0  # type: ignore[union-attr]
+        }
+        for key, value in health_delta.items():
+            self.backend_events[key] = (
+                self.backend_events.get(key, 0) + value
+            )
         by_cat_delta = {
             cat: count - start["by_cat"].get(cat, 0)  # type: ignore[union-attr]
             for cat, count in self.rounds_by_category.items()
@@ -201,6 +229,7 @@ class ClusterMetrics:
             rounds_by_category=by_cat_delta,
             capacity_violations=len(self.violations) - start["violations"],  # type: ignore[operator]
             words_by_machine=by_machine_delta,
+            backend_events=health_delta,
         )
         self._phase_label = None
         self._phase_start = {}

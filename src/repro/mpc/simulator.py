@@ -350,11 +350,19 @@ class Cluster:
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
+    def _backend_health(self) -> Dict[str, int]:
+        """The backend's cumulative fleet-health counters, without ever
+        forcing a lazy backend into existence just to read zeros."""
+        if self._backend is None:
+            return {}
+        return self._backend.health_counters()
+
     def begin_phase(self, label: str) -> None:
-        self.metrics.begin_phase(label)
+        self.metrics.begin_phase(label, health=self._backend_health())
 
     def end_phase(self, batch_size: int = 0) -> PhaseMetrics:
-        return self.metrics.end_phase(batch_size)
+        return self.metrics.end_phase(batch_size,
+                                      health=self._backend_health())
 
     def __repr__(self) -> str:
         return (

@@ -434,9 +434,26 @@ class GraphSession:
                 rows.append(row)
         return rows
 
-    #: Column order for rendered reports.
+    #: Column order for rendered reports.  ``fleet`` carries the
+    #: phase's fleet-health events (worker respawns / dispatch retries
+    #: / degrades / injected faults) and is blank in healthy phases.
     REPORT_COLUMNS = ("phase", "task", "batch", "rounds", "messages",
-                      "words_sent", "peak_total_memory", "violations")
+                      "words_sent", "peak_total_memory", "violations",
+                      "fleet")
+
+    def fleet_health(self) -> Dict[str, int]:
+        """Cumulative fleet-health counters of the live backend.
+
+        Mirrors ``ExecutionBackend.health_counters()``: ``respawns`` /
+        ``retries`` / ``degrades`` / ``faults_injected``.  Empty when
+        the backend has no supervised fleet (sequential) or was never
+        materialised; per-phase deltas appear in the ``fleet`` column
+        of :meth:`report`.
+        """
+        backend = self.cluster.resolved_backend
+        if backend is None:
+            return {}
+        return backend.health_counters()
 
     def report_table(self) -> str:
         return render_table(

@@ -503,6 +503,135 @@ class TestEnvValidation:
         finally:
             backend.close()
 
+    @pytest.mark.parametrize("value", ["abc", "-1", "", "1.5"])
+    def test_garbage_retries_raises_sketch_error(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BACKEND_RETRIES", value)
+        with pytest.raises(SketchError, match="REPRO_BACKEND_RETRIES"):
+            SharedMemoryBackend(num_workers=1)
+
+    @pytest.mark.parametrize("value", ["abc", "-1", "", "0", "nan"])
+    def test_garbage_backoff_raises_sketch_error(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BACKEND_BACKOFF", value)
+        with pytest.raises(SketchError, match="REPRO_BACKEND_BACKOFF"):
+            SharedMemoryBackend(num_workers=1)
+
+    def test_garbage_fault_spec_raises_sketch_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_FAULTS", "explode:w=0")
+        with pytest.raises(SketchError, match="REPRO_BACKEND_FAULTS"):
+            SharedMemoryBackend(num_workers=1)
+
+    def test_supervisor_knobs_read_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_RETRIES", " 5 ")
+        monkeypatch.setenv("REPRO_BACKEND_BACKOFF", "0.125")
+        backend = SharedMemoryBackend(num_workers=1, call_timeout=15.0)
+        try:
+            assert backend.retries == 5
+            assert backend.backoff == 0.125
+        finally:
+            backend.close()
+
+    def test_explicit_supervisor_knobs_bypass_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_RETRIES", "garbage")
+        monkeypatch.setenv("REPRO_BACKEND_BACKOFF", "garbage")
+        backend = SharedMemoryBackend(num_workers=1, call_timeout=15.0,
+                                      retries=0, backoff=0.0)
+        try:
+            assert backend.retries == 0
+            assert backend.backoff == 0.0
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: shared-memory segments never leak, on any exit path
+# ---------------------------------------------------------------------------
+
+def _shm_segments() -> "set[str]":
+    import os
+
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available on this platform")
+
+
+@pytest.mark.skipif(not __import__("os").path.isdir("/dev/shm"),
+                    reason="needs a visible /dev/shm")
+class TestSegmentLeaks:
+    def test_close_unlinks_every_segment(self):
+        before = _shm_segments()
+        backend = SharedMemoryBackend(num_workers=2, call_timeout=30.0)
+        family = SketchFamily(16, columns=4,
+                              rng=np.random.default_rng(0),
+                              backend=backend)
+        us, vs = _random_edges(16, 10)
+        family.apply_edges_bulk(us, vs, np.ones(10, dtype=np.int64))
+        assert _shm_segments() - before  # pools + rings + status live
+        family.detach_backend()
+        backend.close()
+        assert _shm_segments() - before == set()
+
+    def test_hard_teardown_after_worker_kill_unlinks(self):
+        # close() must unlink pool/ring/status segments even when the
+        # fleet died ungracefully (workers never ack the stop).
+        before = _shm_segments()
+        backend = SharedMemoryBackend(num_workers=2, call_timeout=30.0)
+        family = SketchFamily(16, columns=4,
+                              rng=np.random.default_rng(0),
+                              backend=backend)
+        us, vs = _random_edges(16, 10)
+        family.apply_edges_bulk(us, vs, np.ones(10, dtype=np.int64))
+        for proc in backend._procs:
+            proc.kill()
+            proc.join(timeout=5)
+        family.detach_backend()
+        backend.close()
+        assert _shm_segments() - before == set()
+
+    def test_mid_attach_failure_unlinks_fresh_segment(self, monkeypatch):
+        # If adopting the buffer blows up halfway through attach_pool,
+        # the just-created segment was registered nowhere -- the except
+        # path must unlink it rather than leak it until reboot.
+        from repro.sketch.sparse_recovery import RecoveryPool
+
+        before = _shm_segments()
+        backend = SharedMemoryBackend(num_workers=1, call_timeout=30.0)
+        try:
+            seq = SketchFamily(16, columns=4,
+                               rng=np.random.default_rng(0),
+                               backend="sequential")
+
+            def explode(self, buffer):
+                raise RuntimeError("induced adopt failure")
+
+            monkeypatch.setattr(RecoveryPool, "adopt_buffer", explode)
+            with pytest.raises(RuntimeError, match="induced"):
+                backend.attach_pool(seq.pool, seq.randomness)
+        finally:
+            backend.close()
+        assert _shm_segments() - before == set()
+
+    def test_degraded_backend_releases_transport_segments(self):
+        from repro.mpc.faults import FaultPlan
+
+        before = _shm_segments()
+        backend = SharedMemoryBackend(num_workers=2, call_timeout=30.0,
+                                      retries=0, backoff=0.0,
+                                      faults=FaultPlan.kill_always(1))
+        family = SketchFamily(16, columns=4,
+                              rng=np.random.default_rng(0),
+                              backend=backend)
+        us, vs = _random_edges(16, 10)
+        family.apply_edges_bulk(us, vs, np.ones(10, dtype=np.int64))
+        assert backend.degraded is not None
+        # Transport (rings + status) is gone; only the pool segment --
+        # which the parent's adopted cells still live in -- remains.
+        leftover = _shm_segments() - before
+        assert len(leftover) <= 1
+        family.detach_backend()
+        backend.close()
+        assert _shm_segments() - before == set()
+
 
 # ---------------------------------------------------------------------------
 # End-to-end algorithm matrix on both backends
@@ -626,29 +755,40 @@ class TestShardAttribution:
 
 
 # ---------------------------------------------------------------------------
-# Failure model: dead workers surface as SketchError
+# Failure model: dead workers are respawned, not fatal
 # ---------------------------------------------------------------------------
 
 class TestWorkerCrash:
-    def test_dead_worker_raises_sketch_error(self):
+    def test_dead_worker_is_respawned_bit_identically(self):
         # A private fleet: killing a worker must not poison the shared
-        # module-level backend other tests use.
-        backend = SharedMemoryBackend(num_workers=2)
+        # module-level backend other tests use.  The supervisor must
+        # detect the loss on the next call, respawn the worker, replay
+        # its pool attachments, and complete the call -- bit-identical
+        # to a fleet that never crashed.
+        backend = SharedMemoryBackend(num_workers=2, call_timeout=30.0)
         try:
+            seq = SketchFamily(16, columns=4,
+                               rng=np.random.default_rng(0),
+                               backend="sequential")
             family = SketchFamily(16, columns=4,
                                   rng=np.random.default_rng(0),
                                   backend=backend)
             us, vs = _random_edges(16, 10)
             ones = np.ones(10, dtype=np.int64)
+            seq.apply_edges_bulk(us, vs, ones)
             family.apply_edges_bulk(us, vs, ones)
             backend._procs[0].kill()
             backend._procs[0].join(timeout=5)
-            with pytest.raises(SketchError, match="died"):
-                family.apply_edges_bulk(us, vs, -ones)
-            # The backend stays broken (no silent half-applied state).
-            assert not backend.usable
-            with pytest.raises(SketchError):
-                family.apply_edges_bulk(us, vs, ones)
+            seq.apply_edges_bulk(us, vs, -ones)
+            family.apply_edges_bulk(us, vs, -ones)
+            assert np.array_equal(seq.pool.cells, family.pool.cells)
+            assert backend.usable and backend.degraded is None
+            assert backend.health["respawns"] >= 1
+            assert "respawns=" in backend.describe()
+            # And the respawned worker keeps serving.
+            seq.apply_edges_bulk(us, vs, ones)
+            family.apply_edges_bulk(us, vs, ones)
+            assert np.array_equal(seq.pool.cells, family.pool.cells)
         finally:
             backend.close()
 

@@ -158,3 +158,294 @@ class TestCapacityInjection:
                                   words=10 ** 6)])
         snapshot = cluster.end_phase()
         assert snapshot.capacity_violations == 2
+
+
+# ---------------------------------------------------------------------------
+# Worker-fleet fault injection: the self-healing supervisor contract
+# ---------------------------------------------------------------------------
+#
+# A `kill -9` (or hang, dropped ack, truncated ring record) of any
+# worker mid-phase must yield either a bit-identically completed phase
+# after a respawn or a clean degrade to the in-process cores with
+# identical answers -- never a hang, never corruption, never a latched-
+# broken backend.
+
+from repro.errors import SketchError  # noqa: E402
+from repro.mpc.backend import SharedMemoryBackend  # noqa: E402
+from repro.mpc.faults import Fault, FaultPlan  # noqa: E402
+from repro.sketch import SketchFamily  # noqa: E402
+
+FLEET = 2
+
+
+def _family_pair(backend, n=40, columns=6, seed=9):
+    seq = SketchFamily(n, columns=columns,
+                       rng=np.random.default_rng(seed),
+                       backend="sequential")
+    shm = SketchFamily(n, columns=columns,
+                       rng=np.random.default_rng(seed),
+                       backend=backend)
+    return seq, shm
+
+
+def _edge_arrays(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < k:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    edges = sorted(edges)
+    return (np.array([u for u, _ in edges], dtype=np.int64),
+            np.array([v for _, v in edges], dtype=np.int64))
+
+
+def _drive_op(family, op, n=40):
+    """Run one family-level operation that routes backend op ``op``;
+    returns a comparable answer structure."""
+    if op == "apply":
+        us, vs = _edge_arrays(n, 20, seed=5)
+        family.apply_edges_bulk(us, vs, np.ones(20, dtype=np.int64))
+        return None
+    if op in ("query", "sample", "is_zero"):
+        samplers = [family.new_vertex_sketch(v).sampler
+                    for v in range(n)]
+        if op == "query":
+            zeros, found = family.query_iteration_bulk(samplers, 0)
+            return zeros.tolist(), found
+        if op == "sample":
+            return family.query_bulk(samplers, 1)
+        return family.cuts_empty_bulk(samplers).tolist()
+    groups = [np.arange(i, min(i + 5, n), dtype=np.int64)
+              for i in range(0, n, 5)]
+    if op == "gquery":
+        zeros, found = family.query_iteration_groups(groups, 0)
+        return zeros.tolist(), found
+    if op == "gzero":
+        return family.cuts_empty_groups(groups).tolist()
+    if op == "gscan":
+        members = np.arange(n // 2, dtype=np.int64)
+        cols = np.arange(family.columns, dtype=np.int64)
+        zero, edges = family.scan_group(members, cols)
+        return zero, edges
+    raise AssertionError(f"unknown op {op}")
+
+
+class TestFaultPlanParsing:
+    def test_parse_single_kill(self):
+        plan = FaultPlan.parse("kill:w=1:n=3:op=apply")
+        fault = plan._armed[0]
+        assert (fault.kind, fault.worker, fault.nth, fault.op) == \
+            ("kill", 1, 3, "apply")
+        assert not fault.repeat
+
+    def test_parse_chaos(self):
+        plan = FaultPlan.parse("chaos:kill:every=400:seed=7")
+        assert plan.chaos_every == 400
+        assert plan.chaos_seed == 7
+        assert plan.chaos_kind == "kill"
+
+    def test_parse_empty_is_none(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("  ;  ") is None
+
+    @pytest.mark.parametrize("spec", [
+        "explode:w=0",                 # unknown kind
+        "kill",                        # missing worker
+        "kill:w=abc",                  # non-integer worker
+        "kill:w=-1",                   # negative worker
+        "kill:w=0:n=0",                # nth is 1-based
+        "kill:w=0:op=frobnicate",      # unknown routed op
+        "hang:w=0:s=-2",               # negative seconds
+        "kill:w=0:bogus=1",            # unknown setting
+        "chaos:kill:seed=1",           # chaos without every
+        "chaos:warp:every=10",         # unknown chaos kind
+    ])
+    def test_garbage_specs_raise_naming_the_source(self, spec):
+        with pytest.raises(SketchError, match="REPRO_BACKEND_FAULTS"):
+            FaultPlan.parse(spec)
+
+    def test_draw_is_deterministic(self):
+        a = FaultPlan(chaos_every=10, chaos_seed=3)
+        b = FaultPlan(chaos_every=10, chaos_seed=3)
+        seq_a = [a.draw(i % 2, "apply") is not None for i in range(100)]
+        seq_b = [b.draw(i % 2, "apply") is not None for i in range(100)]
+        assert seq_a == seq_b
+        assert any(seq_a)
+
+    def test_one_shot_fault_fires_once(self):
+        plan = FaultPlan.kill_before(0, nth=2)
+        assert plan.draw(0, "query") is None
+        assert plan.draw(0, "query") is not None
+        assert plan.draw(0, "query") is None
+        assert plan.exhausted
+
+
+class TestWorkerKillMatrix:
+    """Kill a worker immediately before each routed op; the phase must
+    complete bit-identically to the sequential backend after respawn."""
+
+    @pytest.mark.parametrize("op", ["apply", "query", "sample",
+                                    "is_zero", "gquery", "gzero",
+                                    "gscan"])
+    def test_kill_mid_phase_recovers_bit_identically(self, op):
+        # gscan rotates single-worker jobs starting at worker 0; every
+        # other op fans out over both workers, so worker 1 always has
+        # a share to lose.
+        victim = 0 if op == "gscan" else 1
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=30.0,
+            faults=FaultPlan.kill_before(victim, nth=1, op=op),
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            if op != "apply":
+                us, vs = _edge_arrays(40, 60)
+                ones = np.ones(60, dtype=np.int64)
+                seq.apply_edges_bulk(us, vs, ones)
+                shm.apply_edges_bulk(us, vs, ones)
+            expected = _drive_op(seq, op)
+            actual = _drive_op(shm, op)
+            assert expected == actual
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+            assert np.array_equal(seq.pool.row_mass, shm.pool.row_mass)
+            assert seq.pool.f_mass == shm.pool.f_mass
+            assert backend.usable and backend.degraded is None
+            assert backend.health["respawns"] >= 1
+            assert backend.health["faults_injected"] == 1
+            # The fleet keeps serving after recovery.
+            us2, vs2 = _edge_arrays(40, 10, seed=11)
+            ones2 = np.ones(10, dtype=np.int64)
+            seq.apply_edges_bulk(us2, vs2, ones2)
+            shm.apply_edges_bulk(us2, vs2, ones2)
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+        finally:
+            backend.close()
+
+
+class TestOtherFaultKinds:
+    def test_hung_worker_times_out_and_recovers(self):
+        # The worker sleeps past the call deadline without acking: the
+        # dispatch must time out (never hang), kill, respawn, retry.
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=3.0,
+            faults=FaultPlan(faults=[
+                Fault("hang", 1, nth=1, op="apply", seconds=60.0)
+            ]),
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            expected = _drive_op(seq, "apply")
+            actual = _drive_op(shm, "apply")
+            assert expected == actual is None
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+            assert backend.usable and backend.degraded is None
+            assert backend.health["respawns"] >= 1
+        finally:
+            backend.close()
+
+    def test_short_delay_completes_without_recovery(self):
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=30.0,
+            faults=FaultPlan(faults=[
+                Fault("delay", 1, nth=1, op="apply", seconds=0.3)
+            ]),
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            _drive_op(seq, "apply")
+            _drive_op(shm, "apply")
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+            assert backend.health["respawns"] == 0
+            assert backend.health["retries"] == 0
+        finally:
+            backend.close()
+
+    def test_dropped_scatter_ack_is_never_reapplied(self):
+        # The worker executes the scatter but swallows the ack.  The
+        # status-slot protocol must classify the op as completed --
+        # re-applying it would double the deltas and break parity.
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=3.0,
+            faults=FaultPlan(faults=[
+                Fault("drop", 1, nth=1, op="apply")
+            ]),
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            _drive_op(seq, "apply")
+            _drive_op(shm, "apply")
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+            assert np.array_equal(seq.pool.row_mass, shm.pool.row_mass)
+            assert backend.usable and backend.degraded is None
+            # No retry happened: the lost ack was proved complete.
+            assert backend.health["retries"] == 0
+        finally:
+            backend.close()
+
+    def test_truncated_ring_record_desyncs_and_recovers(self):
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=30.0,
+            faults="truncate:w=0:n=1",
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            _drive_op(seq, "apply")
+            _drive_op(shm, "apply")
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+            assert backend.usable and backend.degraded is None
+            assert backend.health["respawns"] >= 1
+        finally:
+            backend.close()
+
+
+class TestGracefulDegradation:
+    def test_exhausted_retries_degrade_with_identical_answers(self):
+        # Worker 1 dies on *every* send: after `retries` respawn/retry
+        # cycles the backend must degrade to the in-process cores --
+        # same shared cells, bit-identical answers, still usable.
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=30.0, retries=1,
+            backoff=0.01, faults=FaultPlan.kill_always(1),
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            us, vs = _edge_arrays(40, 60)
+            ones = np.ones(60, dtype=np.int64)
+            seq.apply_edges_bulk(us, vs, ones)
+            shm.apply_edges_bulk(us, vs, ones)
+            assert backend.degraded is not None
+            assert backend.usable, "degraded is not broken"
+            assert backend.health["degrades"] == 1
+            assert "degraded" in backend.describe()
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+            assert np.array_equal(seq.pool.row_mass, shm.pool.row_mass)
+            # Every op keeps answering, identically, after degradation.
+            for op in ("query", "sample", "is_zero", "gquery", "gzero",
+                       "gscan"):
+                assert _drive_op(seq, op) == _drive_op(shm, op)
+            seq.apply_edges_bulk(us[:9], vs[:9], -ones[:9])
+            shm.apply_edges_bulk(us[:9], vs[:9], -ones[:9])
+            assert np.array_equal(seq.pool.cells, shm.pool.cells)
+        finally:
+            backend.close()
+
+    def test_degraded_backend_attaches_new_pools(self):
+        backend = SharedMemoryBackend(
+            num_workers=FLEET, call_timeout=30.0, retries=0,
+            backoff=0.0, faults=FaultPlan.kill_always(0),
+        )
+        try:
+            seq, shm = _family_pair(backend)
+            _drive_op(seq, "apply")
+            _drive_op(shm, "apply")
+            assert backend.degraded is not None
+            # A family attached *after* degradation works too.
+            seq2, shm2 = _family_pair(backend, seed=13)
+            _drive_op(seq2, "apply")
+            _drive_op(shm2, "apply")
+            assert np.array_equal(seq2.pool.cells, shm2.pool.cells)
+            assert _drive_op(seq2, "query") == _drive_op(shm2, "query")
+        finally:
+            backend.close()

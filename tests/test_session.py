@@ -697,3 +697,191 @@ class TestCloseAfterPartialRestore:
             restored.close(close_backend=False)
         finally:
             fresh.close()
+
+
+# ---------------------------------------------------------------------------
+# Self-healing fleet under a live session (PR 6)
+# ---------------------------------------------------------------------------
+
+class TestSelfHealingSession:
+    """Worker loss mid-phase must heal (or degrade) underneath the
+    session: answers stay bit-identical, the session never latches
+    inconsistent, and the recovery is visible in ``fleet_health()``
+    and the report's ``fleet`` column."""
+
+    def _reference(self, stream):
+        session = GraphSession(N, tasks=("connectivity",),
+                               config=_config("sequential"))
+        session.ingest(stream)
+        return session
+
+    def test_worker_kill_mid_phase_keeps_session_live(self):
+        from repro.mpc.faults import FaultPlan
+
+        backend = SharedMemoryBackend(
+            num_workers=WORKERS, call_timeout=30.0,
+            faults=FaultPlan.kill_before(1, nth=1, op="apply"),
+        )
+        try:
+            session = GraphSession(N, tasks=("connectivity",),
+                                   seed=3, backend=backend)
+            session.ingest(_insert_stream())
+            reference = self._reference(_insert_stream())
+            assert session.connected(0, 12)
+            assert (session.spanning_forest().edges
+                    == reference.spanning_forest().edges)
+            assert np.array_equal(
+                session.query("connectivity").family.pool.cells,
+                reference.query("connectivity").family.pool.cells,
+            )
+            # Healed, not latched: further ingestion and queries work.
+            session.ingest([(40, 41)])
+            reference.ingest([(40, 41)])
+            assert session.connected(40, 41)
+            health = session.fleet_health()
+            assert health["respawns"] >= 1
+            assert backend.degraded is None and backend.usable
+            # The recovery shows up in the per-phase report column.
+            fleets = [row["fleet"] for row in session.report()]
+            assert any("respawns=" in f for f in fleets)
+            reference.close()
+            session.close(close_backend=False)
+        finally:
+            backend.close()
+
+    def test_degraded_fleet_answers_identically(self):
+        from repro.mpc.faults import FaultPlan
+
+        backend = SharedMemoryBackend(
+            num_workers=WORKERS, call_timeout=30.0, retries=1,
+            backoff=0.01, faults=FaultPlan.kill_always(1),
+        )
+        try:
+            session = GraphSession(N, tasks=("connectivity",),
+                                   seed=3, backend=backend)
+            session.ingest(_churn_stream())
+            reference = self._reference(_churn_stream())
+            assert backend.degraded is not None
+            assert backend.usable, "degraded is a mode, not a brick"
+            assert session.fleet_health()["degrades"] == 1
+            assert np.array_equal(
+                session.query("connectivity").family.pool.cells,
+                reference.query("connectivity").family.pool.cells,
+            )
+            assert (session.spanning_forest().edges
+                    == reference.spanning_forest().edges)
+            # The degraded fleet keeps serving the session.
+            session.ingest([(40, 42), (42, 44)])
+            reference.ingest([(40, 42), (42, 44)])
+            assert session.connected(40, 44)
+            assert (session.num_components()
+                    == reference.num_components())
+            reference.close()
+            session.close(close_backend=False)
+        finally:
+            backend.close()
+
+    def test_restore_onto_fleet_with_killed_worker(self, tmp_path):
+        """The control path heals too: restoring onto a fleet that lost
+        a worker respawns it during the attach fan-out."""
+        path = os.fspath(tmp_path / "session.ckpt")
+        with GraphSession(N, tasks=("connectivity",),
+                          config=_config("sequential")) as donor:
+            donor.ingest(_insert_stream())
+            donor.checkpoint(path)
+
+        backend = SharedMemoryBackend(num_workers=WORKERS,
+                                      call_timeout=30.0)
+        try:
+            backend._procs[0].kill()
+            backend._procs[0].join(5.0)
+            restored = GraphSession.restore(path, backend=backend)
+            assert restored.connected(0, 12)
+            assert backend.health["respawns"] >= 1
+            assert backend.degraded is None and backend.usable
+            restored.ingest([(40, 41)])
+            assert restored.connected(40, 41)
+            restored.close(close_backend=False)
+        finally:
+            backend.close()
+
+    def test_restore_onto_degraded_fleet(self, tmp_path):
+        from repro.mpc.faults import FaultPlan
+        from repro.sketch import SketchFamily
+
+        path = os.fspath(tmp_path / "session.ckpt")
+        with GraphSession(N, tasks=("connectivity",),
+                          config=_config("sequential")) as donor:
+            donor.ingest(_insert_stream())
+            donor.checkpoint(path)
+
+        backend = SharedMemoryBackend(
+            num_workers=WORKERS, call_timeout=30.0, retries=0,
+            backoff=0.0, faults=FaultPlan.kill_always(0),
+        )
+        try:
+            # Degrade the fleet through the public op path first.
+            probe = SketchFamily(8, columns=2,
+                                 rng=np.random.default_rng(0),
+                                 backend=backend)
+            probe.apply_edges_bulk(np.array([0], dtype=np.int64),
+                                   np.array([1], dtype=np.int64),
+                                   np.array([1], dtype=np.int64))
+            assert backend.degraded is not None
+            restored = GraphSession.restore(path, backend=backend)
+            assert restored.connected(0, 12)
+            restored.ingest([(40, 41)])
+            assert restored.connected(40, 41)
+            reference = self._reference(_insert_stream())
+            reference.ingest([(40, 41)])
+            assert np.array_equal(
+                restored.query("connectivity").family.pool.cells,
+                reference.query("connectivity").family.pool.cells,
+            )
+            reference.close()
+            probe.detach_backend()
+            restored.close(close_backend=False)
+        finally:
+            backend.close()
+
+    def test_failed_restore_mid_attach_rolls_back_real_fleet(
+            self, tmp_path):
+        """Extends the PR 5 rollback contract to a real worker fleet:
+        an attach that explodes after the first family leaves no
+        half-attached pools, and the same checkpoint restores cleanly
+        onto the same backend afterwards."""
+        from repro.errors import SketchError
+
+        path = os.fspath(tmp_path / "session.ckpt")
+        with GraphSession(N, tasks=("connectivity", "bipartiteness"),
+                          config=_config("sequential")) as donor:
+            donor.ingest([(i, i + 1) for i in range(12)])
+            donor.checkpoint(path)
+
+        backend = SharedMemoryBackend(num_workers=WORKERS,
+                                      call_timeout=30.0)
+        real_attach = backend.attach_pool
+        calls = {"n": 0}
+
+        def explode_on_second(pool, randomness):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise SketchError("simulated attach failure")
+            return real_attach(pool, randomness)
+
+        backend.attach_pool = explode_on_second
+        try:
+            with pytest.raises(SketchError,
+                               match="simulated attach"):
+                GraphSession.restore(path, backend=backend)
+            backend.attach_pool = real_attach
+            # Rollback released the first family's attachment: nothing
+            # is left registered on the fleet.
+            assert len(backend._handles) == 0
+            restored = GraphSession.restore(path, backend=backend)
+            assert restored.connected(0, 12)
+            assert restored.is_bipartite()
+            restored.close(close_backend=False)
+        finally:
+            backend.attach_pool = real_attach
+            backend.close()
