@@ -11,10 +11,35 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import pytest
+
 from repro.baselines import DynamicConnectivityOracle
 from repro.core import MPCConnectivity
+from repro.lint.stamp import lint_stamp
 from repro.mpc import MPCConfig
 from repro.streams import ChurnStream
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lint_gate():
+    """Fail every EXP report fast if ``src/`` has lint findings.
+
+    A benchmark number measured on a tree that violates the MPC
+    conventions (uncharged bulk ops, Python loops in ``@hot_path``
+    kernels) is not a trajectory point -- refuse to record it.  The
+    verdict is cached per process (``repro.lint.stamp``), so the whole
+    benchmark run pays for one lint pass.
+    """
+    stamp = lint_stamp()
+    if stamp["findings"]:
+        pytest.fail(
+            "repro.lint found {} violation(s); fix them before "
+            "recording benchmark numbers:\n{}".format(
+                stamp["findings"], "\n".join(stamp["errors"])
+            ),
+            pytrace=False,
+        )
+    return stamp
 
 
 def run_churn(alg, n: int, phases: int, batch_size: int, seed: int,

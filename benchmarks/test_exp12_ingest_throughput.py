@@ -49,6 +49,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis import print_table
+from repro.lint.stamp import lint_stamp
 from repro.sketch import SketchFamily
 
 #: (n, batch, reps) measurement points; the first is the legacy point
@@ -99,6 +100,9 @@ def _merge_results(update: dict) -> None:
     if _RESULT_PATH.exists():
         payload = json.loads(_RESULT_PATH.read_text())
     payload.update(update)
+    stamp = lint_stamp()
+    payload["lint"] = {"rule_pack": stamp["rule_pack"],
+                       "findings": stamp["findings"]}
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 

@@ -45,6 +45,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis import print_table
+from repro.lint.stamp import lint_stamp
 from repro.mpc.backend import (
     SharedMemoryBackend,
     available_cpus,
@@ -184,6 +185,9 @@ def test_exp14_backend_throughput(benchmark):
         "speedup_4_workers": measured["4"]["speedup"],
         "speedup_floor": SPEEDUP_FLOOR,
     })
+    stamp = lint_stamp()
+    payload["lint"] = {"rule_pack": stamp["rule_pack"],
+                       "findings": stamp["findings"]}
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert measured["4"]["speedup"] >= SPEEDUP_FLOOR, (
@@ -299,6 +303,9 @@ def test_exp14_small_batch_fanout():
         "ring_vs_pipe_speedup": ring_vs_pipe,
         "ring_floor": SMALL_BATCH_RING_FLOOR,
     }
+    stamp = lint_stamp()
+    payload["lint"] = {"rule_pack": stamp["rule_pack"],
+                       "findings": stamp["findings"]}
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert ring_vs_pipe >= SMALL_BATCH_RING_FLOOR, (

@@ -72,6 +72,12 @@ On the shared-memory backend, small batches ship through preallocated
 per-worker ring buffers (only a tiny ``(seq, offset, length)`` token
 crosses the pipe), so fan-out latency stays flat as batches shrink --
 see the wire protocol in :mod:`repro.mpc.backend`.
+
+The conventions above (validated env reads, segment lifecycle, status
+brackets, charge accounting, ``@hot_path`` vectorization) are enforced
+mechanically by ``python -m repro.lint src`` -- see
+``docs/lint-rules.md`` for the rule pack and how to suppress a finding
+with a justification.
 """
 
 from repro import GraphSession, dele, ins

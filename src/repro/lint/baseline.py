@@ -1,0 +1,45 @@
+"""Baseline files: accepted pre-existing findings that must not grow.
+
+A baseline is a JSON file mapping finding fingerprints (rule + path +
+message, line-independent) to a human note.  ``--baseline FILE``
+filters matching findings out of the report; ``--write-baseline``
+regenerates the file from the current run.  The repo's checked-in
+``lint-baseline.json`` is empty by policy -- ``tests/test_lint.py``
+asserts its entry count never grows, so new debt must be fixed or
+justified inline, not baselined away silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Set
+
+from repro.lint import RULE_PACK_VERSION
+from repro.lint.engine import Finding
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints accepted by ``path`` (empty set if absent)."""
+    file = Path(path)
+    if not file.is_file():
+        return set()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"rule_pack": RULE_PACK_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,38 @@
+"""Source-level markers the lint rules key on.
+
+Both decorators are deliberately no-ops at runtime (they only set a
+dunder attribute) and import nothing, so production modules can apply
+them without pulling the analysis engine into worker processes.
+
+``@hot_path``
+    Declares a function to be one of the vectorized cores the
+    benchmarks measure (GF(2^61-1) limb kernels, pool scatter/query
+    blocks, the backend's ``_execute_op``).  Rule RL006 then forbids
+    per-element Python loops, ``pickle``/``deepcopy``, ``.tolist()``,
+    and list-materializing builds inside the body -- the operations
+    that silently turn an O(1)-round vectorized op into an O(n) Python
+    loop.  A loop over a *small, bounded* dimension (columns, levels,
+    polynomial degree) is fine: suppress the finding on that line with
+    ``# repro-lint: disable=RL006 -- <why the loop is bounded>``.
+
+``@spawn_safe``
+    Declares a type that crosses the process boundary into
+    ``_worker_main`` (ring/pipe payloads, attach commands).  Rule
+    RL002 then requires the class to define ``__reduce__`` plus a
+    ``from_params``-style reconstruction hook, so a spawned worker can
+    rebuild it without inheriting parent state.
+"""
+
+from __future__ import annotations
+
+
+def hot_path(func):
+    """Mark ``func`` as a vectorized hot core (checked by RL006)."""
+    func.__repro_hot_path__ = True
+    return func
+
+
+def spawn_safe(cls):
+    """Mark ``cls`` as crossing into worker processes (checked by RL002)."""
+    cls.__repro_spawn_safe__ = True
+    return cls

@@ -1,0 +1,51 @@
+"""Render a lint :class:`~repro.lint.engine.Report` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import Report
+
+
+def render_text(report: Report) -> str:
+    lines = [finding.render() for finding in report.findings]
+    counts = report.counts()
+    if counts:
+        breakdown = ", ".join(f"{rule}={n}"
+                              for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.files} "
+            f"file(s) [{breakdown}] "
+            f"(suppressed={len(report.suppressed)}, "
+            f"baselined={report.baselined})"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files} file(s), 0 findings "
+            f"(suppressed={len(report.suppressed)}, "
+            f"baselined={report.baselined})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "rule_pack": report.rule_pack,
+        "files": report.files,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in report.findings
+        ],
+        "counts": report.counts(),
+        "suppressed": len(report.suppressed),
+        "baselined": report.baselined,
+    }
+    return json.dumps(payload, indent=2) + "\n"

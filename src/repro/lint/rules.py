@@ -1,0 +1,540 @@
+"""The rule pack: RL000 + RL001..RL006.
+
+Each rule is a pragmatic approximation of an invariant the repo relies
+on (``docs/lint-rules.md`` spells out what it catches, why the MPC
+model cares, and when to suppress).  The checks are keyed to the
+patterns this codebase actually writes -- they are convention
+enforcers, not general program analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+#: Names that count as "cleanup" when RL001 looks for a reachable
+#: release on failure paths.
+_CLEANUP_HINTS = ("close", "unlink", "release")
+
+#: Backend bulk-op / query_groups-family methods RL005 requires to be
+#: charged.  Kept in sync with SketchFamily's routed surface.
+BULK_OPS = frozenset({
+    "apply_edges_bulk", "apply_updates_bulk", "query_bulk",
+    "cuts_empty_bulk", "query_iteration_bulk", "query_iteration_groups",
+    "cuts_empty_groups", "scan_group", "query_groups", "update_grouped",
+})
+
+_ENV_NAME_RE = re.compile(r"\AREPRO_[A-Z][A-Z0-9_]*\Z")
+
+
+def _func_name(node: ast.AST) -> Optional[str]:
+    """Dotted tail of a call target: ``a.b.c(...)`` -> ``c`` etc."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _decorator_names(node) -> Set[str]:
+    out: Set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = _func_name(target)
+        if name:
+            out.add(name)
+    return out
+
+
+def _walk_functions(tree: ast.Module):
+    """Yield every function/method definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_walk(func):
+    """Walk ``func`` excluding the bodies of nested function defs, so
+    findings attach to the innermost enclosing function only."""
+    nested = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func:
+            for sub in ast.walk(node):
+                nested.add(id(sub))
+    for node in ast.walk(func):
+        if id(node) not in nested:
+            yield node
+
+
+def _in_src(ctx: FileContext) -> bool:
+    path = ctx.path
+    return path.startswith("src/") or "/src/" in path
+
+
+# ---------------------------------------------------------------------------
+# RL000: suppression hygiene (meta rule)
+# ---------------------------------------------------------------------------
+
+class SuppressionHygiene(Rule):
+    id = "RL000"
+    title = "suppression-hygiene"
+    rationale = ("every `# repro-lint: disable=` must carry a "
+                 "`-- justification`")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for sup in ctx.suppressions:
+            if sup.bare:
+                yield Finding(
+                    rule=self.id, path=ctx.path, line=sup.line, col=1,
+                    message=("suppression without a justification; "
+                             "write `# repro-lint: disable=<RULE> -- "
+                             "<why this is safe>`"),
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL001: shared-memory lifecycle
+# ---------------------------------------------------------------------------
+
+class ShmLifecycle(Rule):
+    id = "RL001"
+    title = "shm-lifecycle"
+    rationale = ("SharedMemory(create=True) must be owner-registered "
+                 "and unlinkable on every exit path")
+
+    @staticmethod
+    def _creates(func) -> List[ast.Call]:
+        out = []
+        for node in _own_walk(func):
+            if isinstance(node, ast.Call) \
+                    and _func_name(node.func) == "SharedMemory":
+                for kw in node.keywords:
+                    if kw.arg == "create" and isinstance(kw.value,
+                                                         ast.Constant) \
+                            and kw.value.value is True:
+                        out.append(node)
+        return out
+
+    @staticmethod
+    def _binding(func, call: ast.Call):
+        """The Assign statement binding ``call``, if any."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and node.value is call:
+                return node
+        return None
+
+    @staticmethod
+    def _is_registered(func, name: str, after_line: int) -> bool:
+        """Is local ``name`` later stored on a tracked owner?
+
+        Registration = assigning it into an attribute/subscript (e.g.
+        ``self._status = shm``, ``self._handles[token] = shm``) or
+        passing it to an ``append``/``add``/``register`` call on a
+        container (``self._rings.append(shm)``).
+        """
+        for node in ast.walk(func):
+            if getattr(node, "lineno", 0) < after_line:
+                continue
+            if isinstance(node, ast.Assign):
+                names = {n.id for n in ast.walk(node.value)
+                         if isinstance(n, ast.Name)}
+                if name in names and any(
+                        isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in node.targets):
+                    return True
+            if isinstance(node, ast.Call) \
+                    and _func_name(node.func) in ("append", "add",
+                                                  "register"):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        return True
+        return False
+
+    @staticmethod
+    def _has_cleanup(stmts) -> bool:
+        for node in stmts:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    fname = _func_name(sub.func) or ""
+                    if any(h in fname for h in _CLEANUP_HINTS):
+                        return True
+                if isinstance(sub, ast.Raise):
+                    continue
+        return False
+
+    def _is_guarded(self, func, call: ast.Call) -> bool:
+        """Some try/except-or-finally with a cleanup call covers the
+        code after the creation (same enclosing function)."""
+        line = call.lineno
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            handlers = [stmt for h in node.handlers for stmt in h.body]
+            cleanup = (self._has_cleanup(handlers)
+                       or self._has_cleanup(node.finalbody))
+            if not cleanup:
+                continue
+            start = node.lineno
+            end = max((getattr(n, "lineno", start)
+                       for n in ast.walk(node)), default=start)
+            # Creation inside the guarded try body, or a guard set up
+            # right after the creation to cover the tail of the
+            # function (the attach_pool shape).
+            if start <= line <= end or start >= line:
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in _walk_functions(ctx.tree):
+            for call in self._creates(func):
+                binding = self._binding(func, call)
+                if binding is None:
+                    yield ctx.finding(self.id, call,
+                                      "SharedMemory(create=True) result "
+                                      "is discarded; bind it so close/"
+                                      "unlink stay reachable")
+                    continue
+                target = binding.targets[0]
+                registered = isinstance(target,
+                                        (ast.Attribute, ast.Subscript))
+                if not registered and isinstance(target, ast.Name):
+                    registered = self._is_registered(
+                        func, target.id, call.lineno)
+                if not registered:
+                    yield ctx.finding(
+                        self.id, call,
+                        "SharedMemory(create=True) segment is never "
+                        "registered with a tracked owner (self "
+                        "attribute / handle table / ring list)")
+                if not self._is_guarded(func, call):
+                    yield ctx.finding(
+                        self.id, call,
+                        "no close/unlink reachable on failure exit "
+                        "paths: wrap the creation (or the statements "
+                        "after it) in try/except-or-finally that "
+                        "releases the segment")
+
+
+# ---------------------------------------------------------------------------
+# RL002: spawn safety
+# ---------------------------------------------------------------------------
+
+class SpawnSafety(Rule):
+    id = "RL002"
+    title = "spawn-safety"
+    rationale = ("types crossing into worker processes must define "
+                 "__reduce__ plus a from_params-style rebuild hook")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))
+            }
+            marked = "spawn_safe" in _decorator_names(node)
+            has_reduce = "__reduce__" in methods
+            has_rebuild = ("from_params" in methods
+                           or ("__getstate__" in methods
+                               and "__setstate__" in methods))
+            if marked:
+                if not has_reduce:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"@spawn_safe class {node.name} defines no "
+                        f"__reduce__; a spawned worker cannot rebuild "
+                        f"it from pipe payloads")
+                if not has_rebuild:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"@spawn_safe class {node.name} defines no "
+                        f"from_params (or __getstate__/__setstate__) "
+                        f"reconstruction hook")
+            elif "/sketch/" in ctx.path and "from_params" in methods \
+                    and not has_reduce:
+                yield ctx.finding(
+                    self.id, node,
+                    f"class {node.name} ships params (from_params) but "
+                    f"defines no __reduce__: it will pickle parent "
+                    f"state instead of parameters across spawn")
+
+
+# ---------------------------------------------------------------------------
+# RL003: wire-protocol discipline
+# ---------------------------------------------------------------------------
+
+class ProtocolDiscipline(Rule):
+    id = "RL003"
+    title = "protocol-discipline"
+    rationale = ("routed ops must be bracketed -opid/+opid in the "
+                 "status slot; never touch ring state after a seq "
+                 "mismatch")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.path.endswith("mpc/backend.py")
+
+    @staticmethod
+    def _status_writes(func):
+        """(negative_lines, positive_lines) of status-slot writes."""
+        neg, pos = [], []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Subscript)
+                    and "status" in (ast.unparse(target.value)
+                                     if hasattr(ast, "unparse") else "")):
+                continue
+            if isinstance(node.value, ast.UnaryOp) \
+                    and isinstance(node.value.op, ast.USub):
+                neg.append(node.lineno)
+            else:
+                pos.append(node.lineno)
+        return neg, pos
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in _walk_functions(ctx.tree):
+            if func.name != "_worker_main":
+                continue
+            # 1. The routed-op execution must sit between a -opid and a
+            #    +opid status write.
+            op_calls = [
+                node.lineno for node in _own_walk(func)
+                if isinstance(node, ast.Call)
+                and _func_name(node.func) in ("run_op", "_execute_op")
+            ]
+            neg, pos = self._status_writes(func)
+            for line in op_calls:
+                if not any(n < line for n in neg) \
+                        or not any(p > line for p in pos):
+                    yield Finding(
+                        rule=self.id, path=ctx.path, line=line, col=1,
+                        message=("routed-op execution is not bracketed "
+                                 "with -opid (before) / +opid (after) "
+                                 "status-slot writes; the supervisor "
+                                 "cannot classify a crash as "
+                                 "not-started/partial/completed"))
+            # 2. A handler that reports a transport desync must give up
+            #    on the record entirely (end in `continue`), never fall
+            #    through into ring/op state.
+            for node in ast.walk(func):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                sends_desync = any(
+                    isinstance(sub, ast.Constant)
+                    and sub.value == "desync"
+                    for sub in ast.walk(ast.Module(body=node.body,
+                                                   type_ignores=[]))
+                )
+                if sends_desync and not isinstance(node.body[-1],
+                                                   ast.Continue):
+                    yield Finding(
+                        rule=self.id, path=ctx.path,
+                        line=node.body[-1].lineno, col=1,
+                        message=("desync handler falls through into "
+                                 "ring state; it must end with "
+                                 "`continue` so the parent respawns "
+                                 "and replays"))
+
+
+# ---------------------------------------------------------------------------
+# RL004: env hygiene + doc drift
+# ---------------------------------------------------------------------------
+
+class EnvHygiene(Rule):
+    id = "RL004"
+    title = "env-hygiene"
+    rationale = ("REPRO_* env reads go through mpc/config.py readers; "
+                 "every knob must be documented")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_src(ctx)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.path.endswith("mpc/config.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            hit = None
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "os" \
+                    and node.attr in ("environ", "getenv"):
+                hit = node
+            if hit is not None:
+                yield ctx.finding(
+                    self.id, hit,
+                    "direct os.environ/os.getenv read; route it "
+                    "through the validated readers in "
+                    "repro.mpc.config (read_env/env_int/env_float) so "
+                    "garbage raises SketchError naming the variable")
+
+    # -- project phase: doc drift --------------------------------------
+    @staticmethod
+    def _doc_text(root) -> Optional[str]:
+        chunks = []
+        quickstart = root / "examples" / "quickstart.py"
+        if quickstart.is_file():
+            chunks.append(quickstart.read_text(encoding="utf-8"))
+        backend = root / "src" / "repro" / "mpc" / "backend.py"
+        if backend.is_file():
+            try:
+                doc = ast.get_docstring(
+                    ast.parse(backend.read_text(encoding="utf-8")))
+            except SyntaxError:
+                doc = None
+            if doc:
+                chunks.append(doc)
+        return "\n".join(chunks) if chunks else None
+
+    def check_project(self, contexts: Sequence[FileContext],
+                      root) -> Iterable[Finding]:
+        doc_text = self._doc_text(root)
+        if doc_text is None:
+            return
+        seen: Dict[str, Finding] = {}
+        for ctx in contexts:
+            if not _in_src(ctx):
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Constant) \
+                        and isinstance(node.value, str) \
+                        and _ENV_NAME_RE.match(node.value) \
+                        and node.value not in seen:
+                    seen[node.value] = ctx.finding(
+                        self.id, node,
+                        f"env knob {node.value} is referenced in src/ "
+                        f"but documented in neither the quickstart nor "
+                        f"the backend docstring (doc drift)")
+        for name, finding in sorted(seen.items()):
+            if name not in doc_text:
+                yield finding
+
+
+# ---------------------------------------------------------------------------
+# RL005: charge accounting
+# ---------------------------------------------------------------------------
+
+class ChargeAccounting(Rule):
+    id = "RL005"
+    title = "charge-accounting"
+    rationale = ("bulk ops in core/baselines drivers must pair with a "
+                 "charge_* call in the same phase scope")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_src(ctx) and ("/core/" in ctx.path
+                                 or "/baselines/" in ctx.path)
+
+    @staticmethod
+    def _uses_cluster(cls: ast.ClassDef) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr == "cluster" \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "self":
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef) \
+                    or not self._uses_cluster(cls):
+                continue
+            for func in cls.body:
+                if not isinstance(func, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                bulk_calls = [
+                    node for node in ast.walk(func)
+                    if isinstance(node, ast.Call)
+                    and _func_name(node.func) in BULK_OPS
+                ]
+                if not bulk_calls:
+                    continue
+                charged = any(
+                    isinstance(node, ast.Call)
+                    and (_func_name(node.func) or "").startswith("charge_")
+                    for node in ast.walk(func)
+                )
+                if charged:
+                    continue
+                for call in bulk_calls:
+                    yield ctx.finding(
+                        self.id, call,
+                        f"{cls.name}.{func.name} routes a bulk op "
+                        f"({_func_name(call.func)}) but charges no MPC "
+                        f"rounds/words in the same scope; the model's "
+                        f"sublinearity argument only counts charged "
+                        f"work")
+
+
+# ---------------------------------------------------------------------------
+# RL006: hot-path purity
+# ---------------------------------------------------------------------------
+
+class HotPathPurity(Rule):
+    id = "RL006"
+    title = "hot-path-purity"
+    rationale = ("@hot_path cores must stay vectorized: no pickle/"
+                 "deepcopy, no per-element Python loops, no "
+                 "list-materializing builds")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in _walk_functions(ctx.tree):
+            if "hot_path" not in _decorator_names(func):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    kind = ("while" if isinstance(node, ast.While)
+                            else "for")
+                    yield ctx.finding(
+                        self.id, node,
+                        f"per-element Python `{kind}` loop inside "
+                        f"@hot_path {func.name}; vectorize it (or "
+                        f"suppress with a justification that the loop "
+                        f"is over a small bounded dimension)")
+                elif isinstance(node, ast.ListComp):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"list comprehension materializes O(n) Python "
+                        f"objects inside @hot_path {func.name}")
+                elif isinstance(node, ast.Call):
+                    name = _func_name(node.func)
+                    owner = (node.func.value.id
+                             if isinstance(node.func, ast.Attribute)
+                             and isinstance(node.func.value, ast.Name)
+                             else None)
+                    if owner == "pickle" and name in ("dumps", "loads",
+                                                      "dump", "load"):
+                        yield ctx.finding(
+                            self.id, node,
+                            f"pickle.{name} inside @hot_path "
+                            f"{func.name}: serialization belongs on "
+                            f"the dispatch path, never in a core")
+                    elif name == "deepcopy":
+                        yield ctx.finding(
+                            self.id, node,
+                            f"deepcopy inside @hot_path {func.name}")
+                    elif name == "tolist":
+                        yield ctx.finding(
+                            self.id, node,
+                            f".tolist() materializes Python objects "
+                            f"inside @hot_path {func.name}")
+
+
+#: The rule pack, in reporting order.
+ALL_RULES: List[Rule] = [
+    SuppressionHygiene(),
+    ShmLifecycle(),
+    SpawnSafety(),
+    ProtocolDiscipline(),
+    EnvHygiene(),
+    ChargeAccounting(),
+    HotPathPurity(),
+]

@@ -141,6 +141,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, SketchError
+from repro.lint.markers import hot_path
+from repro.mpc.config import env_float, env_int, read_env
 from repro.mpc.faults import FaultPlan
 from repro.mpc.partition import VertexPartition
 
@@ -179,49 +181,11 @@ def available_cpus() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def _env_int(name: str, minimum: int) -> Optional[int]:
-    """Read an integer env knob; ``None`` when unset.
-
-    A set-but-garbage value (``"abc"``, ``""``, ``"-1"``) raises
-    :class:`~repro.errors.SketchError` naming the variable at *read*
-    time, instead of surfacing as a bare ``ValueError`` (or a silently
-    clamped count) deep inside backend startup.
-    """
-    raw = os.environ.get(name)
-    if raw is None:
-        return None
-    try:
-        value = int(raw.strip())
-    except ValueError:
-        raise SketchError(
-            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
-        ) from None
-    if value < minimum:
-        raise SketchError(
-            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
-        )
-    return value
-
-
-def _env_float(name: str, default: float) -> float:
-    """Read a positive-seconds env knob; ``default`` when unset.
-
-    Validated at read time like :func:`_env_int`: garbage or
-    non-positive values raise ``SketchError`` naming the variable.
-    """
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        value = float(raw.strip())
-    except ValueError:
-        value = math.nan
-    if not math.isfinite(value) or value <= 0:
-        raise SketchError(
-            f"invalid {name}={raw!r}: expected a positive number of "
-            f"seconds"
-        )
-    return value
+# Validated env readers live in repro.mpc.config (the one audited home
+# of os.environ access -- rule RL004); these aliases keep the backend's
+# historical private names importable.
+_env_int = env_int
+_env_float = env_float
 
 
 def default_worker_count() -> int:
@@ -498,6 +462,7 @@ def _split_groups(members: np.ndarray,
     return np.split(members, np.cumsum(glens)[:-1])
 
 
+@hot_path
 def _execute_op(op: str, cells: np.ndarray, randomness,
                 args: List[np.ndarray]):
     """One routed op over descriptor arrays.
@@ -762,38 +727,46 @@ class SharedMemoryBackend(ExecutionBackend):
         self._ring_offsets: List[int] = []
         self._ring_seqs: List[int] = []
         self._scan_cursor = 0
-        from multiprocessing import shared_memory
-
-        if self.ring_words > 0:
-            for _ in range(self.num_workers):
-                shm = shared_memory.SharedMemory(
-                    create=True, size=8 * self.ring_words
-                )
-                self._rings.append(shm)
-                self._ring_views.append(
-                    np.ndarray((self.ring_words,), dtype=np.int64,
-                               buffer=shm.buf)
-                )
-                self._ring_offsets.append(0)
-                self._ring_seqs.append(0)
-        # One status slot per worker: the worker brackets each routed op
-        # with -opid / +opid writes so the supervisor can classify a
-        # lost op as not-started / partial / completed.
-        self._status = shared_memory.SharedMemory(
-            create=True, size=8 * self.num_workers
-        )
-        self._status_view: Optional[np.ndarray] = np.ndarray(
-            (self.num_workers,), dtype=np.int64, buffer=self._status.buf
-        )
-        self._status_view[:] = 0
+        self._status: Optional["object"] = None
+        self._status_view: Optional[np.ndarray] = None
         self._op_ids = [0] * self.num_workers
         import multiprocessing as mp
+        from multiprocessing import shared_memory
 
         self._ctx = mp.get_context("spawn")
         self._procs: List["object"] = [None] * self.num_workers
         self._conns: List["object"] = [None] * self.num_workers
         self._conn_ids: Dict[int, int] = {}
+        # Transport creation sits INSIDE the cleanup guard: each ring
+        # segment is registered in self._rings the moment it exists, so
+        # a failure creating a later ring (or the status slot, or a
+        # worker) unwinds through close() -> _release_transport(),
+        # which unlinks everything created so far instead of leaking
+        # it until reboot.
         try:
+            if self.ring_words > 0:
+                for _ in range(self.num_workers):
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=8 * self.ring_words
+                    )
+                    self._rings.append(shm)
+                    self._ring_views.append(
+                        np.ndarray((self.ring_words,), dtype=np.int64,
+                                   buffer=shm.buf)
+                    )
+                    self._ring_offsets.append(0)
+                    self._ring_seqs.append(0)
+            # One status slot per worker: the worker brackets each
+            # routed op with -opid / +opid writes so the supervisor can
+            # classify a lost op as not-started / partial / completed.
+            self._status = shared_memory.SharedMemory(
+                create=True, size=8 * self.num_workers
+            )
+            self._status_view = np.ndarray(
+                (self.num_workers,), dtype=np.int64,
+                buffer=self._status.buf
+            )
+            self._status_view[:] = 0
             for wid in range(self.num_workers):
                 self._spawn_worker(wid)
             # Handshake: workers are up once they answer a ping (spawned
@@ -1612,7 +1585,7 @@ def get_backend(name: Optional[str] = None,
     spawning its own.
     """
     if name is None:
-        name = os.environ.get(ENV_BACKEND) or SEQUENTIAL
+        name = read_env(ENV_BACKEND) or SEQUENTIAL
     name = normalize_backend_name(name)
     if name == SEQUENTIAL:
         return _SEQUENTIAL_SINGLETON

@@ -16,10 +16,75 @@ words (see :mod:`repro.mpc.metrics`).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SketchError
+
+
+# ---------------------------------------------------------------------------
+# Validated environment readers
+# ---------------------------------------------------------------------------
+# Every ``REPRO_*`` knob in the codebase is read through one of these
+# three functions -- the single place ``os.environ`` is touched (rule
+# RL004 in ``docs/lint-rules.md`` enforces this).  Centralising the
+# reads guarantees the failure mode is uniform: a set-but-garbage value
+# raises :class:`~repro.errors.SketchError` *naming the variable* at
+# read time, on every path, instead of detonating as a bare ValueError
+# (or a silently clamped value) deep inside backend startup.
+
+def read_env(name: str) -> Optional[str]:
+    """Raw string value of env knob ``name``; ``None`` when unset.
+
+    For knobs whose validation lives with their parser (the backend
+    name, the ``REPRO_BACKEND_FAULTS`` spec grammar): the caller
+    validates, this keeps the read itself in one audited place.
+    """
+    return os.environ.get(name)
+
+
+def env_int(name: str, minimum: int) -> Optional[int]:
+    """Read an integer env knob; ``None`` when unset.
+
+    A set-but-garbage value (``"abc"``, ``""``, ``"-1"``) raises
+    :class:`~repro.errors.SketchError` naming the variable.
+    """
+    raw = read_env(name)
+    if raw is None:
+        return None
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise SketchError(
+            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
+        ) from None
+    if value < minimum:
+        raise SketchError(
+            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
+        )
+    return value
+
+
+def env_float(name: str, default: float) -> float:
+    """Read a positive-seconds env knob; ``default`` when unset.
+
+    Garbage or non-positive values raise ``SketchError`` naming the
+    variable.
+    """
+    raw = read_env(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        value = math.nan
+    if not math.isfinite(value) or value <= 0:
+        raise SketchError(
+            f"invalid {name}={raw!r}: expected a positive number of "
+            f"seconds"
+        )
+    return value
 
 
 def polylog(n: int, power: int = 3) -> float:

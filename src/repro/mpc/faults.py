@@ -61,12 +61,12 @@ instead of detonating mid-dispatch.
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import SketchError
+from repro.mpc.config import read_env
 
 #: Environment switch: a fault-plan spec applied to every
 #: SharedMemoryBackend constructed without an explicit ``faults=``.
@@ -238,7 +238,7 @@ class FaultPlan:
     @classmethod
     def from_env(cls) -> Optional["FaultPlan"]:
         """The plan named by ``REPRO_BACKEND_FAULTS`` (validated now)."""
-        return cls.parse(os.environ.get(ENV_FAULTS))
+        return cls.parse(read_env(ENV_FAULTS))
 
     # -- the draw -------------------------------------------------------
     def _draw_gap(self) -> int:

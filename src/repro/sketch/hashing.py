@@ -37,6 +37,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.lint.markers import hot_path, spawn_safe
+
 MERSENNE_P = (1 << 61) - 1
 
 
@@ -105,6 +107,7 @@ _U32 = np.uint64(32)
 _U61 = np.uint64(61)
 
 
+@hot_path
 def mulmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ``(a * b) mod p`` for ``uint64`` arrays with entries
     in ``[0, p)``.
@@ -130,6 +133,7 @@ def mulmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where(acc >= _P_U64, acc - _P_U64, acc)
 
 
+@hot_path
 def addmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ``(a + b) mod p`` for ``uint64`` arrays in ``[0, p)``."""
     s = a + b                             # < 2^62
@@ -137,6 +141,7 @@ def addmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where(s >= _P_U64, s - _P_U64, s)
 
 
+@hot_path
 def poly_field_values(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
     """Evaluate many degree-(k-1) polynomials at many points in GF(p).
 
@@ -149,11 +154,13 @@ def poly_field_values(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
     points = xs[:, None]
     acc = np.broadcast_to(coeffs[-1][None, :], (xs.shape[0],
                                                 coeffs.shape[1]))
+    # repro-lint: disable=RL006 -- Horner loop over k <= 4 coefficient rows, a model constant, never over pool rows
     for row in range(coeffs.shape[0] - 2, -1, -1):
         acc = addmod_many(mulmod_many(acc, points), coeffs[row][None, :])
     return np.ascontiguousarray(acc)
 
 
+@spawn_safe
 class KWiseHash:
     """One hash function drawn from a k-wise independent family.
 

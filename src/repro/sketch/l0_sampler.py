@@ -36,6 +36,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import SketchError
+from repro.lint.markers import hot_path, spawn_safe
 from repro.sketch.hashing import (
     LRUMemo,
     MERSENNE_P,
@@ -71,6 +72,7 @@ def levels_for_universe(universe: int) -> int:
     return max(2, math.ceil(math.log2(max(2, universe))) + 2)
 
 
+@spawn_safe
 class SamplerRandomness:
     """Shared randomness for a *family* of mergeable samplers.
 
@@ -259,6 +261,7 @@ def _randomness_from_params(universe, columns, z,
 # row shards of a shared-memory pool -- one definition, so every route
 # answers bit-identically.
 
+@hot_path
 def is_zero_cells(cells: np.ndarray) -> np.ndarray:
     """Per-row all-columns zero test over a ``(k, 4, c, L)`` stack."""
     sums = cells.sum(axis=-1)                          # (k, 4, columns)
@@ -268,6 +271,7 @@ def is_zero_cells(cells: np.ndarray) -> np.ndarray:
     return zero.all(axis=-1)
 
 
+@hot_path
 def sample_cells(cells: np.ndarray, cols: np.ndarray,
                  randomness: SamplerRandomness) -> np.ndarray:
     """Per-row one-column recovery; ``cols`` has shape ``(k,)``."""
@@ -280,6 +284,7 @@ def sample_cells(cells: np.ndarray, cols: np.ndarray,
     )
 
 
+@hot_path
 def query_cells(cells: np.ndarray, cols: np.ndarray,
                 randomness: SamplerRandomness
                 ) -> "tuple[np.ndarray, np.ndarray]":
@@ -307,6 +312,7 @@ def query_cells(cells: np.ndarray, cols: np.ndarray,
     return zeros, found
 
 
+@hot_path
 def query_group_cells(cells: np.ndarray, groups: "List[np.ndarray]",
                       cols: np.ndarray,
                       randomness: SamplerRandomness
@@ -325,12 +331,14 @@ def query_group_cells(cells: np.ndarray, groups: "List[np.ndarray]",
                        randomness)
 
 
+@hot_path
 def zero_group_cells(cells: np.ndarray,
                      groups: "List[np.ndarray]") -> np.ndarray:
     """Per-group all-columns zero test over merged member rows."""
     return is_zero_cells(merge_group_cells(cells, groups))
 
 
+@hot_path
 def scan_group_cells(cells: np.ndarray, members: np.ndarray,
                      cols: np.ndarray,
                      randomness: SamplerRandomness

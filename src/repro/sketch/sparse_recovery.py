@@ -65,6 +65,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SketchError
+from repro.lint.markers import hot_path
 from repro.sketch.hashing import MERSENNE_P
 
 #: Renormalize the fingerprint limbs once this much absolute update
@@ -101,6 +102,7 @@ def _scatter_weights(deltas: np.ndarray, idxs: np.ndarray,
     )
 
 
+@hot_path
 def pool_scatter(flat_cells: np.ndarray, columns: int, levels: int,
                  slots: np.ndarray, col_levels: np.ndarray,
                  idxs: np.ndarray, deltas: np.ndarray,
@@ -131,6 +133,7 @@ def pool_scatter(flat_cells: np.ndarray, columns: int, levels: int,
     np.add.at(flat_cells, flat, weights)
 
 
+@hot_path
 def merge_group_cells(cells: np.ndarray,
                       groups: "List[np.ndarray]") -> np.ndarray:
     """Per-group sums of member rows of a ``(count, 4, c, L)`` block.
@@ -149,6 +152,7 @@ def merge_group_cells(cells: np.ndarray,
     sums inside int64 (see the module docstring's envelope).
     """
     out = np.empty((len(groups),) + cells.shape[1:], dtype=np.int64)
+    # repro-lint: disable=RL006 -- loop is over supernode groups (<= batch-bound many per phase), and each iteration is one vectorized np.sum over that group's rows
     for i, members in enumerate(groups):
         if members.shape[0] == 1:
             out[i] = cells[members[0]]
@@ -192,6 +196,7 @@ def _suffix_cumsum(arr: np.ndarray) -> np.ndarray:
     return np.cumsum(arr[..., ::-1], axis=-1)[..., ::-1]
 
 
+@hot_path
 def recover_from_prefix(
     prefix: np.ndarray,
     max_index: int,

@@ -611,6 +611,38 @@ class TestSegmentLeaks:
             backend.close()
         assert _shm_segments() - before == set()
 
+    def test_failed_transport_creation_unlinks_earlier_segments(
+        self, monkeypatch
+    ):
+        # The constructor creates ring segments first, then the status
+        # slot.  If the status-slot creation fails, the already-created
+        # rings must be unlinked on the unwind -- the leak RL001
+        # surfaced: transport creation used to sit outside __init__'s
+        # cleanup guard, so a mid-sequence failure stranded segments
+        # until reboot (and TestSegmentLeaks never saw it, because no
+        # backend object existed to close).
+        from multiprocessing import shared_memory as shm_mod
+
+        before = _shm_segments()
+        real = shm_mod.SharedMemory
+        creates = {"count": 0}
+
+        class FlakySegments:
+            def __new__(cls, *args, **kwargs):
+                if kwargs.get("create"):
+                    creates["count"] += 1
+                    if creates["count"] == 3:
+                        raise OSError("induced transport failure")
+                return real(*args, **kwargs)
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", FlakySegments)
+        with pytest.raises(OSError, match="induced"):
+            SharedMemoryBackend(num_workers=2, call_timeout=30.0)
+        # Two rings were created before the status slot blew up ...
+        assert creates["count"] == 3
+        # ... and both were unlinked by the constructor's cleanup.
+        assert _shm_segments() - before == set()
+
     def test_degraded_backend_releases_transport_segments(self):
         from repro.mpc.faults import FaultPlan
 

@@ -282,6 +282,74 @@ class TestFaultPlanParsing:
         assert plan.exhausted
 
 
+class TestFaultSpecEdgeCases:
+    """Spec-grammar corners: the error must name the offending token,
+    not just the variable, so a bad CI env line is a one-glance fix."""
+
+    @pytest.mark.parametrize("spec", ["", "   ", ";", " ; ;; "])
+    def test_empty_and_separator_only_specs_mean_no_plan(self, spec):
+        assert FaultPlan.parse(spec) is None
+
+    def test_env_unset_and_env_empty_mean_no_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_BACKEND_FAULTS", "  ")
+        assert FaultPlan.from_env() is None
+
+    def test_unknown_kind_names_the_token(self):
+        with pytest.raises(SketchError, match=r"explode") as exc:
+            FaultPlan.parse("explode:w=0")
+        assert "REPRO_BACKEND_FAULTS" in str(exc.value)
+
+    def test_negative_nth_names_the_token(self):
+        with pytest.raises(SketchError, match=r"n='-1'"):
+            FaultPlan.parse("kill:w=0:n=-1")
+
+    def test_negative_nth_from_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_FAULTS", "kill:w=0:n=-3")
+        with pytest.raises(SketchError,
+                           match=r"REPRO_BACKEND_FAULTS.*n='-3'"):
+            FaultPlan.from_env()
+
+    def test_overlapping_per_worker_targets_fire_in_listed_order(self):
+        # Two faults aimed at the same worker's same op window are
+        # legal; the first-listed entry wins each draw and the second
+        # stays armed for the next eligible send.
+        plan = FaultPlan.parse("hang:w=0:n=1:s=1;kill:w=0:n=1")
+        first = plan.draw(0, "apply")
+        assert first is not None and first.kind == "hang"
+        second = plan.draw(0, "apply")
+        assert second is not None and second.kind == "kill"
+        assert plan.exhausted
+
+    def test_overlapping_targets_respect_op_filters(self):
+        # Same worker, disjoint op filters: each send consults both but
+        # only the matching fault fires, so filters never shadow each
+        # other.
+        plan = FaultPlan.parse("drop:w=1:op=query;kill:w=1:op=apply")
+        fired = plan.draw(1, "apply")
+        assert fired is not None and fired.kind == "kill"
+        fired = plan.draw(1, "query")
+        assert fired is not None and fired.kind == "drop"
+
+    def test_chaos_seed_reuse_replays_identically(self):
+        spec = "chaos:kill:every=7:seed=42"
+        a, b = FaultPlan.parse(spec), FaultPlan.parse(spec)
+        schedule_a = [(w, a.draw(w, "apply") is not None)
+                      for i in range(120) for w in (i % 3,)]
+        schedule_b = [(w, b.draw(w, "apply") is not None)
+                      for i in range(120) for w in (i % 3,)]
+        assert schedule_a == schedule_b
+        assert any(hit for _, hit in schedule_a)
+
+    def test_chaos_different_seeds_diverge(self):
+        a = FaultPlan.parse("chaos:kill:every=5:seed=0")
+        b = FaultPlan.parse("chaos:kill:every=5:seed=1")
+        sched = lambda p: [p.draw(0, "apply") is not None  # noqa: E731
+                           for _ in range(200)]
+        assert sched(a) != sched(b)
+
+
 class TestWorkerKillMatrix:
     """Kill a worker immediately before each routed op; the phase must
     complete bit-identically to the sequential backend after respawn."""
