@@ -13,6 +13,7 @@ from typing import Dict, List
 
 import pytest
 
+from repro import kernels
 from repro.baselines import DynamicConnectivityOracle
 from repro.core import MPCConnectivity
 from repro.lint.stamp import lint_stamp
@@ -40,6 +41,22 @@ def _lint_gate():
             pytrace=False,
         )
     return stamp
+
+
+def kernels_stamp() -> Dict[str, object]:
+    """Kernel-tier provenance for ``BENCH_ingest.json``.
+
+    Every write site stamps this next to the ``lint`` field so each
+    trajectory point records *which* hot-path implementations produced
+    it (PR 8): the active ``REPRO_KERNELS`` tier, whether the compiled
+    tier was even available, and how often ``auto`` silently fell back
+    to numpy in this process.
+    """
+    return {
+        "tier": kernels.active_tier(),
+        "numba_available": kernels.numba_available(),
+        "auto_fallbacks": kernels.counters()["auto_fallbacks"],
+    }
 
 
 def run_churn(alg, n: int, phases: int, batch_size: int, seed: int,

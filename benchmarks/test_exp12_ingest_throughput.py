@@ -48,6 +48,8 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import kernels_stamp
+
 from repro.analysis import print_table
 from repro.lint.stamp import lint_stamp
 from repro.sketch import SketchFamily
@@ -103,6 +105,7 @@ def _merge_results(update: dict) -> None:
     stamp = lint_stamp()
     payload["lint"] = {"rule_pack": stamp["rule_pack"],
                        "findings": stamp["findings"]}
+    payload["kernels"] = kernels_stamp()
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 

@@ -73,6 +73,25 @@ per-worker ring buffers (only a tiny ``(seq, offset, length)`` token
 crosses the pipe), so fan-out latency stays flat as batches shrink --
 see the wire protocol in :mod:`repro.mpc.backend`.
 
+Choosing a kernel tier
+----------------------
+The sketch inner loops (field arithmetic, scatter, decode, group
+merge) run on a runtime-selectable kernel tier -- see
+``docs/kernels.md`` for the full grammar, the profiling hooks, and
+how to add a kernel:
+
+* ``REPRO_KERNELS`` -- ``auto`` (default: numba-compiled when numba is
+  importable, else pure numpy, silently), ``numpy`` (force the
+  always-available reference tier), or ``numba`` (require the compiled
+  tier; raises ``SketchError`` naming the variable when numba is
+  missing).  Anything else raises at read time, like the backend
+  knobs.  Both tiers are bit-identical; workers re-resolve the tier
+  independently at spawn.
+* ``REPRO_KERNELS_PROFILE`` -- set to ``1`` to wrap every kernel and
+  the parent-side dispatch sections in nanosecond accumulators,
+  surfaced per phase through ``session.report()``'s backend events
+  and :func:`repro.kernels.profile.counters`.
+
 The conventions above (validated env reads, segment lifecycle, status
 brackets, charge accounting, ``@hot_path`` vectorization) are enforced
 mechanically by ``python -m repro.lint src`` -- see

@@ -1,0 +1,56 @@
+"""Kernel registration tables for the tier dispatcher.
+
+Every hot-path kernel is registered twice -- once by the pure-numpy
+tier (:mod:`repro.kernels.numpy_tier`, always available) and once by
+the compiled tier (:mod:`repro.kernels.compiled_tier`, active only
+when numba is importable).  :mod:`repro.kernels` binds one table as
+the active implementation set; rule RL007 (``repro.lint``) checks the
+two registrations stay in lockstep (same kernel names, same parameter
+names) and that nothing outside this package calls a tier module
+directly.
+
+The decorators are deliberately trivial -- a dict insert -- so the
+registration is visible to AST tooling: RL007 recognises a kernel
+entry purely from the ``@numpy_kernel("name")`` /
+``@compiled_kernel("name")`` decorator form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+_NUMPY: Dict[str, Callable] = {}
+_COMPILED: Dict[str, Callable] = {}
+
+
+def numpy_kernel(name: str) -> Callable[[Callable], Callable]:
+    """Register ``func`` as the numpy-tier implementation of ``name``."""
+
+    def register(func: Callable) -> Callable:
+        _NUMPY[name] = func
+        return func
+
+    return register
+
+
+def compiled_kernel(name: str) -> Callable[[Callable], Callable]:
+    """Register ``func`` as the compiled-tier implementation of ``name``."""
+
+    def register(func: Callable) -> Callable:
+        _COMPILED[name] = func
+        return func
+
+    return register
+
+
+def numpy_table() -> Dict[str, Callable]:
+    return dict(_NUMPY)
+
+
+def compiled_table() -> Dict[str, Callable]:
+    return dict(_COMPILED)
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """All registered kernel names (the numpy tier is the roster)."""
+    return tuple(sorted(_NUMPY))

@@ -19,7 +19,7 @@ Layout
 ``engine``
     File walker, suppression parsing, baseline filtering, rule driver.
 ``rules``
-    The rule pack (RL001..RL006 plus the suppression-hygiene meta
+    The rule pack (RL001..RL007 plus the suppression-hygiene meta
     rule).  ``docs/lint-rules.md`` documents each rule.
 ``reporters``
     Text and JSON output.
@@ -32,6 +32,6 @@ every spawned worker.
 #: Version of the rule pack, recorded in JSON reports, baselines, and
 #: the ``lint`` field of BENCH_ingest.json.  Bump when rules are added
 #: or their detection logic changes meaningfully.
-RULE_PACK_VERSION = "1.0"
+RULE_PACK_VERSION = "1.1"
 
 __all__ = ["RULE_PACK_VERSION"]

@@ -342,7 +342,10 @@ class ExecutionBackend:
         return {}
 
     def describe(self) -> str:
-        return f"{self.name}(workers={self.num_workers})"
+        from repro import kernels
+
+        return (f"{self.name}(workers={self.num_workers}, "
+                f"kernels={kernels.active_tier()})")
 
 
 class SequentialBackend(ExecutionBackend):
@@ -456,12 +459,6 @@ def _ring_read(view: np.ndarray, offset: int, words: int) -> List[np.ndarray]:
     return args
 
 
-def _split_groups(members: np.ndarray,
-                  glens: np.ndarray) -> List[np.ndarray]:
-    """Cut a flattened membership array back into per-group arrays."""
-    return np.split(members, np.cumsum(glens)[:-1])
-
-
 @hot_path
 def _execute_op(op: str, cells: np.ndarray, randomness,
                 args: List[np.ndarray]):
@@ -473,14 +470,17 @@ def _execute_op(op: str, cells: np.ndarray, randomness,
     runs, so answers are bit-identical wherever the op executes.  Mass
     bookkeeping is deliberately *not* here -- it stays with the caller
     of ``scatter_edges``, the single parent-side trigger point.
+
+    Group ops consume the wire shape (``glens``/flat ``members``)
+    directly through the :mod:`repro.kernels` group-merge kernel --
+    no per-group Python list is rebuilt on the hot path.
     """
+    from repro import kernels as _kernels
     from repro.sketch.l0_sampler import (
         is_zero_cells,
         query_cells,
-        query_group_cells,
         sample_cells,
         scan_group_cells,
-        zero_group_cells,
     )
     from repro.sketch.sparse_recovery import pool_scatter
 
@@ -503,11 +503,11 @@ def _execute_op(op: str, cells: np.ndarray, randomness,
         return is_zero_cells(cells[slots])
     if op == "gquery":
         glens, members, cols = args
-        return query_group_cells(cells, _split_groups(members, glens),
-                                 cols, randomness)
+        merged = _kernels.merge_groups(cells, members, glens)
+        return query_cells(merged, cols, randomness)
     if op == "gzero":
         glens, members = args
-        return zero_group_cells(cells, _split_groups(members, glens))
+        return is_zero_cells(_kernels.merge_groups(cells, members, glens))
     if op == "gscan":
         members, cols = args
         return scan_group_cells(cells, members, cols, randomness)
@@ -730,6 +730,11 @@ class SharedMemoryBackend(ExecutionBackend):
         self._status: Optional["object"] = None
         self._status_view: Optional[np.ndarray] = None
         self._op_ids = [0] * self.num_workers
+        # Bound once so the per-dispatch profiling sections cost one
+        # attribute lookup; :func:`repro.kernels.profile.timed` is a
+        # shared no-op unless REPRO_KERNELS_PROFILE enabled it.
+        from repro.kernels import profile as _kernel_profile
+        self._profile = _kernel_profile
         import multiprocessing as mp
         from multiprocessing import shared_memory
 
@@ -837,6 +842,8 @@ class SharedMemoryBackend(ExecutionBackend):
         app_errors: Dict[int, str] = {}
         pending = set()
         self._in_dispatch = True
+        timer = self._profile.timed("backend.exchange")
+        timer.__enter__()
         try:
             for wid, cmd in wire:
                 try:
@@ -878,6 +885,7 @@ class SharedMemoryBackend(ExecutionBackend):
             return results, failures, app_errors
         finally:
             self._in_dispatch = False
+            timer.__exit__(None, None, None)
 
     def _kill_worker(self, wid: int) -> None:
         """SIGKILL worker ``wid`` (idempotent) and drop its pipe.
@@ -1344,24 +1352,24 @@ class SharedMemoryBackend(ExecutionBackend):
         """
         if not self._rings:
             return None
-        words = 1 + len(arrays) + sum(int(a.shape[0]) for a in arrays)
+        lens = [int(a.shape[0]) for a in arrays]
+        words = 1 + len(arrays) + sum(lens)
         if words > self.ring_words:
             return None
-        offset = self._ring_offsets[wid]
-        if offset + words > self.ring_words:
-            offset = 0  # wrap: the tail is too short for this record
-        view = self._ring_views[wid]
-        view[offset] = len(arrays)
-        pos = offset + 1
-        for array in arrays:
-            view[pos] = array.shape[0]
-            pos += 1
-        for array in arrays:
-            k = array.shape[0]
-            view[pos:pos + k] = array
-            pos += k
-        self._ring_offsets[wid] = pos
-        self._ring_seqs[wid] += 1
+        with self._profile.timed("backend.ring_pack"):
+            offset = self._ring_offsets[wid]
+            if offset + words > self.ring_words:
+                offset = 0  # wrap: the tail is too short for this record
+            view = self._ring_views[wid]
+            view[offset] = len(arrays)
+            header = offset + 1
+            view[header:header + len(arrays)] = lens
+            pos = header + len(arrays)
+            for array, k in zip(arrays, lens):
+                view[pos:pos + k] = array
+                pos += k
+            self._ring_offsets[wid] = pos
+            self._ring_seqs[wid] += 1
         return self._ring_seqs[wid], offset, words
 
     def _sharded_jobs(self, handle: PoolHandle, slots: np.ndarray,
@@ -1374,19 +1382,28 @@ class SharedMemoryBackend(ExecutionBackend):
         send time inside :meth:`_dispatch_ops`, so a retried share is
         always re-packed against the respawned worker's reset ring.
         """
-        owners = handle.owners_of(slots)
-        jobs: List[tuple] = []
-        masks: Dict[int, np.ndarray] = {}
-        split: Dict[int, int] = {}
-        for wid in range(self.num_workers):
-            mask = np.flatnonzero(owners == wid)
-            if mask.size == 0:
-                continue
-            masks[wid] = mask
-            split[wid] = int(mask.size)
-            jobs.append((wid, op, [slots[mask],
-                                   *[p[mask] for p in payloads]]))
-        self.last_split = split
+        with self._profile.timed("backend.shard"):
+            owners = handle.owners_of(slots)
+            # One stable sort replaces a full ``owners == wid`` scan per
+            # worker; each slice is the same ascending index mask the
+            # scan produced.
+            order = np.argsort(owners, kind="stable")
+            counts = np.bincount(owners, minlength=self.num_workers)
+            starts = np.zeros(self.num_workers + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            jobs: List[tuple] = []
+            masks: Dict[int, np.ndarray] = {}
+            split: Dict[int, int] = {}
+            for wid in range(self.num_workers):
+                lo, hi = int(starts[wid]), int(starts[wid + 1])
+                if lo == hi:
+                    continue
+                mask = order[lo:hi]
+                masks[wid] = mask
+                split[wid] = hi - lo
+                jobs.append((wid, op, [slots[mask],
+                                       *[p[mask] for p in payloads]]))
+            self.last_split = split
         return jobs, masks
 
     def _group_jobs(self, handle: PoolHandle, groups: "List[np.ndarray]",
@@ -1398,6 +1415,8 @@ class SharedMemoryBackend(ExecutionBackend):
         pool row read-only, so group placement is a load-balancing
         choice, not a correctness constraint like the scatter shards.
         """
+        timer = self._profile.timed("backend.shard")
+        timer.__enter__()
         loads = [0] * self.num_workers
         assignment: Dict[int, List[int]] = {}
         for i, members in enumerate(groups):
@@ -1420,6 +1439,7 @@ class SharedMemoryBackend(ExecutionBackend):
                 arrays.append(cols[idx])
             jobs.append((wid, op, arrays))
         self.last_split = split
+        timer.__exit__(None, None, None)
         return jobs, masks
 
     def scatter_edges(self, handle: PoolHandle, hi: np.ndarray,
@@ -1543,8 +1563,11 @@ class SharedMemoryBackend(ExecutionBackend):
         self._release_transport()
 
     def describe(self) -> str:
+        from repro import kernels
+
         bits = [f"workers={self.num_workers}",
-                f"pools={len(self._handles)}"]
+                f"pools={len(self._handles)}",
+                f"kernels={kernels.active_tier()}"]
         labels = {"faults_injected": "faults"}
         for key, value in self.health.items():
             if value:

@@ -352,10 +352,22 @@ class Cluster:
     # ------------------------------------------------------------------
     def _backend_health(self) -> Dict[str, int]:
         """The backend's cumulative fleet-health counters, without ever
-        forcing a lazy backend into existence just to read zeros."""
-        if self._backend is None:
-            return {}
-        return self._backend.health_counters()
+        forcing a lazy backend into existence just to read zeros.
+
+        With ``REPRO_KERNELS_PROFILE=1`` the parent-side kernel and
+        dispatch-section accumulators ride along: they are cumulative
+        monotone ints just like the fleet counters, so
+        :meth:`~repro.mpc.metrics.ClusterMetrics.end_phase` diffs them
+        into per-phase ``backend_events`` rows with no extra plumbing.
+        """
+        from repro.kernels import profile
+
+        health: Dict[str, int] = {}
+        if self._backend is not None:
+            health.update(self._backend.health_counters())
+        if profile.enabled():
+            health.update(profile.counters())
+        return health
 
     def begin_phase(self, label: str) -> None:
         self.metrics.begin_phase(label, health=self._backend_health())

@@ -28,6 +28,12 @@ back onto the low bits).  Every intermediate stays below ``2^63``, so
 the limb arithmetic is exact in ``uint64`` -- the two flavours return
 bit-identical values, which the bulk-vs-sequential ingestion tests
 assert.
+
+The array flavours live in the runtime-selectable kernel tier
+(:mod:`repro.kernels`, ``REPRO_KERNELS``); the functions here are the
+sketch layer's stable entry points and delegate to whichever tier the
+dispatcher bound -- pure numpy always, numba-compiled when available.
+Both tiers are bit-identical by contract (``tests/test_kernels.py``).
 """
 
 from __future__ import annotations
@@ -37,7 +43,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.lint.markers import hot_path, spawn_safe
+from repro import kernels as _kernels
+from repro.lint.markers import spawn_safe
 
 MERSENNE_P = (1 << 61) - 1
 
@@ -94,54 +101,25 @@ class LRUMemo:
     def __contains__(self, key) -> bool:
         return key in self._data
 
-# uint64 constants for the limb arithmetic: NumPy keeps uint64 closed
-# under operations with same-dtype scalars, so every shift/mask below
-# uses these instead of bare Python ints.
+# uint64 view of the prime kept for callers that build field inputs.
 _P_U64 = np.uint64(MERSENNE_P)
-_MASK29 = np.uint64((1 << 29) - 1)
-_MASK32 = np.uint64((1 << 32) - 1)
-_U1 = np.uint64(1)
-_U3 = np.uint64(3)
-_U29 = np.uint64(29)
-_U32 = np.uint64(32)
-_U61 = np.uint64(61)
 
 
-@hot_path
 def mulmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ``(a * b) mod p`` for ``uint64`` arrays with entries
-    in ``[0, p)``.
+    in ``[0, p)``; broadcasting works as for ``a * b``.
 
-    Splits both operands into 32-bit limbs so every partial product and
-    partial sum fits ``uint64`` (see the module docstring), then folds
-    the bits above position 61 back down (``2^61 === 1 mod p``).
-    Broadcasting works as for ``a * b``.
+    Dispatches to the active kernel tier (see the module docstring and
+    :mod:`repro.kernels.numpy_tier` for the limb arithmetic).
     """
-    a_hi = a >> _U32
-    a_lo = a & _MASK32
-    b_hi = b >> _U32
-    b_lo = b & _MASK32
-    hh = a_hi * b_hi                      # < 2^58
-    mid = a_hi * b_lo + a_lo * b_hi       # < 2^62
-    ll = a_lo * b_lo                      # < 2^64
-    # a*b = hh*2^64 + mid*2^32 + ll; fold at bit 61 (2^61 === 1 mod p):
-    #   hh*2^64 === hh*8, mid*2^32 === (mid >> 29) + (mid & M29)*2^32,
-    #   ll === (ll >> 61) + (ll & p).  The sum stays below 3 * 2^61.
-    acc = ((hh << _U3) + (mid >> _U29) + ((mid & _MASK29) << _U32)
-           + (ll >> _U61) + (ll & _P_U64))
-    acc = (acc & _P_U64) + (acc >> _U61)
-    return np.where(acc >= _P_U64, acc - _P_U64, acc)
+    return _kernels.mulmod_many(a, b)
 
 
-@hot_path
 def addmod_many(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ``(a + b) mod p`` for ``uint64`` arrays in ``[0, p)``."""
-    s = a + b                             # < 2^62
-    s = (s & _P_U64) + (s >> _U61)
-    return np.where(s >= _P_U64, s - _P_U64, s)
+    return _kernels.addmod_many(a, b)
 
 
-@hot_path
 def poly_field_values(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
     """Evaluate many degree-(k-1) polynomials at many points in GF(p).
 
@@ -151,13 +129,7 @@ def poly_field_values(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
     ``(e, h)`` uint64 matrix of Horner evaluations, bit-identical to
     :meth:`KWiseHash.field_value` on each (point, polynomial) pair.
     """
-    points = xs[:, None]
-    acc = np.broadcast_to(coeffs[-1][None, :], (xs.shape[0],
-                                                coeffs.shape[1]))
-    # repro-lint: disable=RL006 -- Horner loop over k <= 4 coefficient rows, a model constant, never over pool rows
-    for row in range(coeffs.shape[0] - 2, -1, -1):
-        acc = addmod_many(mulmod_many(acc, points), coeffs[row][None, :])
-    return np.ascontiguousarray(acc)
+    return _kernels.poly_field_values(coeffs, xs)
 
 
 @spawn_safe
@@ -295,13 +267,7 @@ def trailing_zeros(x: int, cap: int) -> int:
 def trailing_zeros_many(xs: np.ndarray, cap: int) -> np.ndarray:
     """Vectorized :func:`trailing_zeros` over a uint64 array.
 
-    Isolates the lowest set bit with ``x & (~x + 1)`` and reads its
-    position from the float64 exponent (``frexp``); powers of two up to
-    ``2^63`` convert to float64 exactly, so this matches the scalar
-    bit-trick bit for bit.  Zero entries map to ``cap``.
+    Dispatches to the active kernel tier; both tiers match the scalar
+    bit-trick bit for bit, with zero entries mapping to ``cap``.
     """
-    xs = np.asarray(xs, dtype=np.uint64)
-    lsb = xs & (~xs + _U1)
-    _, exponent = np.frexp(lsb.astype(np.float64))
-    tz = exponent.astype(np.int64) - 1
-    return np.where(xs == 0, cap, np.minimum(tz, cap))
+    return _kernels.trailing_zeros_many(xs, cap)

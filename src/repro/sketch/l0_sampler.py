@@ -35,8 +35,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.errors import SketchError
-from repro.lint.markers import hot_path, spawn_safe
+from repro.lint.markers import spawn_safe
 from repro.sketch.hashing import (
     LRUMemo,
     MERSENNE_P,
@@ -50,7 +51,6 @@ from repro.sketch.hashing import (
 from repro.sketch.sparse_recovery import (
     MergeScratch,
     RecoveryMatrix,
-    _combine_limbs,
     _suffix_cumsum,
     merge_group_cells,
     recover_from_prefix,
@@ -116,11 +116,6 @@ class SamplerRandomness:
             dtype=np.uint64,
         )
         self._range_mask = np.uint64(self._level_range - 1)
-        # z^(2^j) ladder for vectorized binary exponentiation.
-        self._zpow_ladder: List[int] = [self.z]
-        while (1 << len(self._zpow_ladder)) < max(2, universe):
-            last = self._zpow_ladder[-1]
-            self._zpow_ladder.append(last * last % MERSENNE_P)
 
     # -- spawn-safe reconstruction --------------------------------------
     def params(self) -> tuple:
@@ -202,30 +197,14 @@ class SamplerRandomness:
         return value
 
     def zpow_many(self, idxs: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`zpow`: binary exponentiation over arrays.
+        """Vectorized :meth:`zpow`: kernel-tier binary exponentiation.
 
-        Walks the precomputed ``z^(2^j)`` ladder, multiplying the
-        entries whose exponent has bit ``j`` set (limb-arithmetic
-        mulmod).  Returns int64 values in ``[0, p)``, bit-identical to
-        ``pow(z, idx, p)``.
+        Returns int64 values in ``[0, p)``, bit-identical to
+        ``pow(z, idx, p)`` (canonical residues are unique, so the tiers
+        agree exactly).
         """
         idxs = np.asarray(idxs, dtype=np.int64)
-        exps = idxs.astype(np.uint64)
-        out = np.ones(idxs.shape, dtype=np.uint64)
-        bit = 0
-        remaining = exps
-        while remaining.any():
-            if bit >= len(self._zpow_ladder):
-                last = self._zpow_ladder[-1]
-                self._zpow_ladder.append(last * last % MERSENNE_P)
-            odd = (remaining & np.uint64(1)) != 0
-            if odd.any():
-                out[odd] = mulmod_many(
-                    out[odd], np.uint64(self._zpow_ladder[bit])
-                )
-            remaining = remaining >> np.uint64(1)
-            bit += 1
-        return out.astype(np.int64)
+        return _kernels.powmod_many(idxs.astype(np.uint64), self.z)
 
     def fingerprint_ok(self, idx: int, w: int, f: int) -> bool:
         """Verify ``F == W * z^idx`` and the level membership of ``idx``."""
@@ -261,30 +240,22 @@ def _randomness_from_params(universe, columns, z,
 # row shards of a shared-memory pool -- one definition, so every route
 # answers bit-identically.
 
-@hot_path
 def is_zero_cells(cells: np.ndarray) -> np.ndarray:
     """Per-row all-columns zero test over a ``(k, 4, c, L)`` stack."""
-    sums = cells.sum(axis=-1)                          # (k, 4, columns)
-    zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
-    if zero.any():
-        zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
-    return zero.all(axis=-1)
+    return _kernels.is_zero_cells(cells)
 
 
-@hot_path
 def sample_cells(cells: np.ndarray, cols: np.ndarray,
                  randomness: SamplerRandomness) -> np.ndarray:
     """Per-row one-column recovery; ``cols`` has shape ``(k,)``."""
     k = cells.shape[0]
     block = cells[np.arange(k), :, cols, :]            # (k, 4, levels)
     prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
-    return recover_from_prefix(
-        prefix.transpose(1, 0, 2), randomness.universe,
-        randomness.fingerprint_ok_many,
+    return _kernels.decode_prefix(
+        prefix.transpose(1, 0, 2), randomness.universe, randomness.z
     )
 
 
-@hot_path
 def query_cells(cells: np.ndarray, cols: np.ndarray,
                 randomness: SamplerRandomness
                 ) -> "tuple[np.ndarray, np.ndarray]":
@@ -295,24 +266,18 @@ def query_cells(cells: np.ndarray, cols: np.ndarray,
     recovery alike.
     """
     k = cells.shape[0]
-    sums = cells.sum(axis=-1)                          # (k, 4, columns)
-    zero = (sums[:, 0] == 0) & (sums[:, 1] == 0)
-    if zero.any():
-        zero &= _combine_limbs(sums[:, 2], sums[:, 3]) == 0
-    zeros = zero.all(axis=-1)
+    zeros = _kernels.is_zero_cells(cells)
     found = np.full(k, -1, dtype=np.int64)
     live = np.flatnonzero(~zeros)
     if live.size:
         block = cells[live, :, cols[live], :]          # (l, 4, levels)
         prefix = np.cumsum(block[..., ::-1], axis=-1)[..., ::-1]
-        found[live] = recover_from_prefix(
-            prefix.transpose(1, 0, 2), randomness.universe,
-            randomness.fingerprint_ok_many,
+        found[live] = _kernels.decode_prefix(
+            prefix.transpose(1, 0, 2), randomness.universe, randomness.z
         )
     return zeros, found
 
 
-@hot_path
 def query_group_cells(cells: np.ndarray, groups: "List[np.ndarray]",
                       cols: np.ndarray,
                       randomness: SamplerRandomness
@@ -331,14 +296,12 @@ def query_group_cells(cells: np.ndarray, groups: "List[np.ndarray]",
                        randomness)
 
 
-@hot_path
 def zero_group_cells(cells: np.ndarray,
                      groups: "List[np.ndarray]") -> np.ndarray:
     """Per-group all-columns zero test over merged member rows."""
     return is_zero_cells(merge_group_cells(cells, groups))
 
 
-@hot_path
 def scan_group_cells(cells: np.ndarray, members: np.ndarray,
                      cols: np.ndarray,
                      randomness: SamplerRandomness

@@ -64,8 +64,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.errors import SketchError
-from repro.lint.markers import hot_path
 from repro.sketch.hashing import MERSENNE_P
 
 #: Renormalize the fingerprint limbs once this much absolute update
@@ -85,24 +85,6 @@ def _combine_limb_scalars(lo: int, hi: int) -> int:
     return (lo + (hi << 32)) % MERSENNE_P
 
 
-def _scatter_weights(deltas: np.ndarray, idxs: np.ndarray,
-                     zpows: np.ndarray, columns: int) -> np.ndarray:
-    """Per-point scatter weights for all four quantities, flattened in
-    (point, quantity, column) order -- the single definition both the
-    standalone :meth:`RecoveryMatrix.apply_many` and the pooled
-    :meth:`RecoveryPool.apply_points` scatters rely on, so the
-    bit-identical sequential/bulk contract has one source of truth."""
-    return np.repeat(
-        np.stack(
-            [deltas, deltas * idxs, deltas * (zpows & _MASK32),
-             deltas * (zpows >> 32)],
-            axis=1,
-        ).ravel(),
-        columns,
-    )
-
-
-@hot_path
 def pool_scatter(flat_cells: np.ndarray, columns: int, levels: int,
                  slots: np.ndarray, col_levels: np.ndarray,
                  idxs: np.ndarray, deltas: np.ndarray,
@@ -110,30 +92,20 @@ def pool_scatter(flat_cells: np.ndarray, columns: int, levels: int,
     """Scatter many (slot, coordinate, delta) updates into a flattened
     ``(count, 4, columns, levels)`` cell block.
 
-    The one definition of the pool scatter, shared by
+    The one entry point for the pool scatter, shared by
     :meth:`RecoveryPool.apply_points` and the execution-backend workers
     (:mod:`repro.mpc.backend`), which write disjoint slot shards of the
     same shared-memory block -- one source of truth keeps the parallel
-    and sequential paths bit-identical.  Duplicate (slot, cell) targets
-    accumulate correctly (``np.add.at``), and int64 addition is exact
-    and order-independent, so any partition of the entries over callers
+    and sequential paths bit-identical.  Dispatches to the active
+    kernel tier (:mod:`repro.kernels`); duplicate (slot, cell) targets
+    accumulate correctly, and int64 addition is exact and
+    order-independent, so any partition of the entries over callers
     lands in the same final state.
     """
-    e = slots.shape[0]
-    if e == 0:
-        return
-    row_words = 4 * columns * levels
-    cell_base = np.arange(columns, dtype=np.int64) * levels
-    q_offsets = (np.arange(4, dtype=np.int64)
-                 * (columns * levels))[None, :, None]
-    cell_flat = cell_base[None, :] + col_levels                # (e, c)
-    flat = ((slots * row_words)[:, None, None]
-            + q_offsets + cell_flat[:, None, :]).ravel()
-    weights = _scatter_weights(deltas, idxs, zpows, columns)
-    np.add.at(flat_cells, flat, weights)
+    _kernels.pool_scatter(flat_cells, columns, levels, slots,
+                          col_levels, idxs, deltas, zpows)
 
 
-@hot_path
 def merge_group_cells(cells: np.ndarray,
                       groups: "List[np.ndarray]") -> np.ndarray:
     """Per-group sums of member rows of a ``(count, 4, c, L)`` block.
@@ -150,34 +122,30 @@ def merge_group_cells(cells: np.ndarray,
     query answer derived from this stack is bit-identical to the
     parent-side merged-matrix path; the pool-wide mass bound keeps all
     sums inside int64 (see the module docstring's envelope).
+
+    The flat ``(members, glens)`` twin consumed by the execution
+    backends is :func:`repro.kernels.merge_groups`; this wrapper just
+    flattens the list form into it.
     """
-    out = np.empty((len(groups),) + cells.shape[1:], dtype=np.int64)
-    # repro-lint: disable=RL006 -- loop is over supernode groups (<= batch-bound many per phase), and each iteration is one vectorized np.sum over that group's rows
-    for i, members in enumerate(groups):
-        if members.shape[0] == 1:
-            out[i] = cells[members[0]]
-        else:
-            np.sum(cells[members], axis=0, out=out[i])
-    return out
+    if not groups:
+        return np.empty((0,) + cells.shape[1:], dtype=np.int64)
+    if len(groups) == 1:
+        members = np.asarray(groups[0], dtype=np.int64)
+    else:
+        members = np.concatenate(groups).astype(np.int64, copy=False)
+    glens = np.fromiter((g.shape[0] for g in groups), dtype=np.int64,
+                        count=len(groups))
+    return _kernels.merge_groups(cells, members, glens)
 
 
 def _combine_limbs(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     """``(lo + 2^32 * hi) mod p`` for int64 limb arrays (any sign).
 
-    Reduces each limb mod p first, then applies the shift-by-32 with
-    29/32-bit sub-limbs so every intermediate fits int64 (numpy's ``%``
-    returns non-negative remainders, matching Python).
+    Dispatches to the active kernel tier; both tiers reduce each limb
+    mod p first, then apply the shift-by-32 with 29/32-bit sub-limbs so
+    every intermediate fits int64.
     """
-    lo_m = lo % MERSENNE_P
-    hi_m = hi % MERSENNE_P
-    # (hi_m << 32) mod p: split hi_m = top*2^29 + bot, use 2^61 === 1.
-    top = hi_m >> 29
-    bot = hi_m & _MASK29
-    shifted = top + (bot << 32)                        # < 2^62
-    shifted = (shifted & MERSENNE_P) + (shifted >> 61)
-    shifted = np.where(shifted >= MERSENNE_P, shifted - MERSENNE_P,
-                       shifted)
-    return (lo_m + shifted) % MERSENNE_P
+    return _kernels.combine_limbs(lo, hi)
 
 
 def _renormalize_limbs(Flo: np.ndarray, Fhi: np.ndarray) -> None:
@@ -196,7 +164,6 @@ def _suffix_cumsum(arr: np.ndarray) -> np.ndarray:
     return np.cumsum(arr[..., ::-1], axis=-1)[..., ::-1]
 
 
-@hot_path
 def recover_from_prefix(
     prefix: np.ndarray,
     max_index: int,
@@ -208,17 +175,29 @@ def recover_from_prefix(
     ``prefix`` is the ``(4, k, levels)`` int64 block of materialized
     ``(W, S, Flo, Fhi)`` level prefixes for ``k`` independent columns
     (possibly drawn from different matrices).  For each column the
-    divisibility, range, and fingerprint tests run on every level as
-    array operations, and the answer is the lowest passing level's
-    coordinate -- exactly the scan order of
-    :meth:`RecoveryMatrix.recover`, so the result is bit-identical to
-    the sequential path.  ``fingerprint_ok_many`` receives flat arrays
-    ``(idxs, ws, fingerprints)`` of the candidates that survived the
-    integer tests and returns a boolean mask.
+    divisibility, range, and fingerprint tests run on every level, and
+    the answer is the lowest passing level's coordinate -- exactly the
+    scan order of :meth:`RecoveryMatrix.recover`, so the result is
+    bit-identical to the sequential path.  ``fingerprint_ok_many``
+    receives flat arrays ``(idxs, ws, fingerprints)`` of the
+    candidates that survived the integer tests and returns a boolean
+    mask.
+
+    When the callback is the bound ``fingerprint_ok_many`` of a
+    :class:`~repro.sketch.l0_sampler.SamplerRandomness` (the only
+    production caller), the whole decode runs as one fused kernel-tier
+    pass (:func:`repro.kernels.decode_prefix`) with the standard
+    ``F == W * z^idx mod p`` test inlined -- same answers, no Python
+    round-trip per candidate batch.  Any other callable keeps the
+    generic array path below (tests drive it with custom callbacks).
 
     Returns the int64 array of recovered coordinates, ``-1`` marking
     columns where every level rejected (the sampler's ``bottom``).
     """
+    owner = getattr(fingerprint_ok_many, "__self__", None)
+    z = getattr(owner, "z", None)
+    if z is not None and getattr(owner, "level_hashes", None) is not None:
+        return _kernels.decode_prefix(prefix, max_index, int(z))
     W, S, lo, hi = prefix
     k = W.shape[0]
     nonzero = W != 0
@@ -349,11 +328,14 @@ class RecoveryMatrix:
         e = idxs.shape[0]
         if e == 0:
             return
-        cell_flat = self._cell_base[None, :] + col_levels       # (e, c)
-        flat = (cell_flat[:, None, :]
-                + self._q_offsets[None, :, :]).ravel()          # e*4*c
-        weights = _scatter_weights(deltas, idxs, zpows, self.columns)
-        np.add.at(self._flat_cells, flat, weights)
+        # A standalone matrix is a 1-slot pool: the shared scatter
+        # kernel with every point targeting slot 0 hits exactly the
+        # cells the old dedicated scatter did, so the bit-identical
+        # contract keeps one source of truth across tiers.
+        _kernels.pool_scatter(self._flat_cells, self.columns,
+                              self.levels,
+                              np.zeros(e, dtype=np.int64), col_levels,
+                              idxs, deltas, zpows)
         self._bump_mass(int(np.abs(deltas).sum()))
 
     def merge_from(self, other: "RecoveryMatrix") -> None:
@@ -752,7 +734,12 @@ class RecoveryPool:
         if slots.shape[0] == 0:
             return
         mass = np.abs(deltas)
-        np.add.at(self.row_mass, slots, mass)
+        # bincount beats the buffered np.add.at for this parent-side
+        # bookkeeping; float64 weight sums are exact here (per-slot
+        # mass stays far below 2^53 between renormalizations).
+        self.row_mass += np.bincount(
+            slots, weights=mass, minlength=self.count
+        ).astype(np.int64)
         self.bump_mass(int(mass.sum()))
 
     @property
