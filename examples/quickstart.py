@@ -96,7 +96,10 @@ The conventions above (validated env reads, segment lifecycle, status
 brackets, charge accounting, ``@hot_path`` vectorization) are enforced
 mechanically by ``python -m repro.lint src`` -- see
 ``docs/lint-rules.md`` for the rule pack and how to suppress a finding
-with a justification.
+with a justification.  The backend's crash-recovery wire protocol goes
+one step further: the lint run extracts its state machine from the
+source and exhaustively model-checks it against injected worker faults
+(``docs/protocol-model.md``).
 """
 
 from repro import GraphSession, dele, ins

@@ -112,6 +112,7 @@ def trailing_zeros_many(xs: np.ndarray, cap: int) -> np.ndarray:
     """
     xs = np.asarray(xs, dtype=np.uint64)
     lsb = xs & (~xs + _U1)
+    # repro-lint: disable=RL010 -- lsb is 0 or a single power of two <= 2^63, which float64 represents exactly; only the exponent bits are read
     _, exponent = np.frexp(lsb.astype(np.float64))
     tz = exponent.astype(np.int64) - 1
     return np.where(xs == 0, cap, np.minimum(tz, cap))

@@ -19,8 +19,17 @@ Layout
 ``engine``
     File walker, suppression parsing, baseline filtering, rule driver.
 ``rules``
-    The rule pack (RL001..RL007 plus the suppression-hygiene meta
-    rule).  ``docs/lint-rules.md`` documents each rule.
+    The per-file rule pack (RL001..RL007 plus the suppression-hygiene
+    meta rule).  ``docs/lint-rules.md`` documents each rule.
+``flow`` / ``flow_rules``
+    Whole-program call graph + per-function flow facts, and the
+    interprocedural rules (RL008 charge-flow, RL009 shm escape,
+    RL010 determinism discipline, RL011 bracket safety) built on it.
+``protocol``
+    The wire-protocol model checker (RL012): extracts the ring/
+    status/respawn state machine from ``mpc/backend.py`` and
+    exhaustively explores bounded fault interleavings
+    (``docs/protocol-model.md``).
 ``reporters``
     Text and JSON output.
 
@@ -32,6 +41,6 @@ every spawned worker.
 #: Version of the rule pack, recorded in JSON reports, baselines, and
 #: the ``lint`` field of BENCH_ingest.json.  Bump when rules are added
 #: or their detection logic changes meaningfully.
-RULE_PACK_VERSION = "1.1"
+RULE_PACK_VERSION = "2.0"
 
 __all__ = ["RULE_PACK_VERSION"]

@@ -50,6 +50,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "findings and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule pack and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule wall time and finding "
+                             "counts after the report")
+    parser.add_argument("--graph", metavar="PATH",
+                        help="dump the whole-program call graph as "
+                             "JSON to PATH ('-' for stdout)")
+    parser.add_argument("--protocol-report", metavar="PATH",
+                        help="dump the RL012 protocol model-check "
+                             "result (state space + traces) as JSON "
+                             "to PATH ('-' for stdout)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -76,7 +86,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     out = (render_json(report) if args.fmt == "json"
            else render_text(report))
     print(out, end="" if out.endswith("\n") else "\n")
+    if args.stats:
+        from repro.lint.reporters import render_stats
+
+        print(render_stats(report))
+    if args.graph:
+        _dump(args.graph, report.program.flow.to_json())
+    if args.protocol_report:
+        _dump(args.protocol_report, _protocol_payload(report))
     return report.exit_code
+
+
+def _protocol_payload(report) -> dict:
+    results = getattr(report.program, "protocol_results", {}) or {}
+    return {
+        "rule_pack": report.rule_pack,
+        "checked": sorted(results),
+        "results": {path: res.to_json()
+                    for path, res in sorted(results.items())},
+    }
+
+
+def _dump(path: str, payload: dict) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2) + "\n"
+    if path == "-":
+        print(text, end="")
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
 
 
 if __name__ == "__main__":

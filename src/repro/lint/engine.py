@@ -11,6 +11,13 @@ stays silent).  Two phases:
    :class:`FileContext`.
 2. **Project**: rules that need cross-file state (RL004's doc-drift
    check) run once over all contexts with the detected project root.
+3. **Program**: rules that need whole-program flow (RL008's charge
+   paths, RL012's protocol model) run once over a :class:`Program`,
+   which lazily builds the shared :class:`repro.lint.flow.FlowGraph`.
+
+Parsed contexts are cached per ``(path, mtime, size)`` across runs in
+the same process, so repeated ``run_paths``/test invocations re-parse
+nothing that did not change.
 
 Suppressions
 ------------
@@ -32,9 +39,10 @@ import ast
 import hashlib
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint import RULE_PACK_VERSION
 
@@ -102,6 +110,31 @@ class FileContext:
                        message=message)
 
 
+@dataclass
+class Program:
+    """Whole-program view handed to ``check_program`` rules.
+
+    The flow graph is built lazily on first access and shared by every
+    program-phase rule in the run; ``protocol_results`` collects the
+    RL012 model-check results keyed by backend path (the CLI's
+    ``--protocol-report`` reads it back out).
+    """
+
+    contexts: Sequence[FileContext]
+    root: Path
+    protocol_results: Dict[str, object] = field(default_factory=dict)
+    _flow: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def flow(self):
+        if self._flow is None:
+            from repro.lint.flow import FlowGraph
+            from repro.lint.rules import BULK_OPS
+
+            self._flow = FlowGraph.build(self.contexts, BULK_OPS)
+        return self._flow
+
+
 class Rule:
     """Base class: subclasses set ``id``/``title`` and override checks."""
 
@@ -120,6 +153,9 @@ class Rule:
                       root: Path) -> Iterable[Finding]:
         return ()
 
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        return ()
+
 
 @dataclass
 class Report:
@@ -130,6 +166,10 @@ class Report:
     baselined: int
     files: int
     rule_pack: str = RULE_PACK_VERSION
+    #: Per-rule wall time in seconds across all phases (``--stats``).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: The program view of the run (``--graph``/``--protocol-report``).
+    program: Optional[Program] = None
 
     @property
     def exit_code(self) -> int:
@@ -231,6 +271,36 @@ def make_context(display_path: str, source: str) -> FileContext:
                        suppressions=parse_suppressions(lines))
 
 
+#: Parsed-context cache: resolved path -> ((mtime_ns, size), context).
+#: Rules never mutate a context, so sharing across runs is safe; the
+#: signature check invalidates on any on-disk change.
+_CTX_CACHE: Dict[str, Tuple[Tuple[int, int], FileContext]] = {}
+
+
+def _load_context(path: Path, display: str) -> FileContext:
+    """Read + parse ``path``, reusing the cached AST when unchanged."""
+    try:
+        stat = path.stat()
+        sig: Optional[Tuple[int, int]] = (stat.st_mtime_ns, stat.st_size)
+    except OSError:  # pragma: no cover - racy delete
+        sig = None
+    key = str(path)
+    if sig is not None:
+        hit = _CTX_CACHE.get(key)
+        if hit is not None and hit[0] == sig:
+            cached = hit[1]
+            if cached.path == display:
+                return cached
+            return FileContext(path=display, tree=cached.tree,
+                               source=cached.source, lines=cached.lines,
+                               suppressions=cached.suppressions)
+    source = path.read_text(encoding="utf-8")
+    ctx = make_context(display, source)
+    if sig is not None:
+        _CTX_CACHE[key] = (sig, ctx)
+    return ctx
+
+
 # ---------------------------------------------------------------------------
 # Running
 # ---------------------------------------------------------------------------
@@ -261,11 +331,11 @@ def run_paths(paths: Sequence[str], *,
     contexts: List[FileContext] = []
     findings: List[Finding] = []
     suppressed: List[Finding] = []
+    timings: Dict[str, float] = {rule.id: 0.0 for rule in rules}
     for path in files:
         display = _display_path(path, root)
         try:
-            source = path.read_text(encoding="utf-8")
-            ctx = make_context(display, source)
+            ctx = _load_context(path, display)
         except (SyntaxError, UnicodeDecodeError) as exc:
             findings.append(Finding(
                 rule=PARSE_ERROR_RULE, path=display,
@@ -279,7 +349,9 @@ def run_paths(paths: Sequence[str], *,
         raw: List[Finding] = []
         for rule in rules:
             if rule.applies(ctx):
+                start = time.perf_counter()
                 raw.extend(rule.check(ctx))
+                timings[rule.id] += time.perf_counter() - start
         for finding in raw:
             if _is_suppressed(finding, ctx.suppressions):
                 suppressed.append(finding)
@@ -287,14 +359,23 @@ def run_paths(paths: Sequence[str], *,
                 findings.append(finding)
 
     ctx_by_path = {ctx.path: ctx for ctx in contexts}
-    for rule in rules:
-        for finding in rule.check_project(contexts, root):
-            ctx = ctx_by_path.get(finding.path)
-            if ctx is not None and _is_suppressed(finding,
-                                                  ctx.suppressions):
-                suppressed.append(finding)
-            else:
-                findings.append(finding)
+    program = Program(contexts=contexts, root=root)
+
+    def run_phase(produce) -> None:
+        for rule in rules:
+            start = time.perf_counter()
+            raw = list(produce(rule))
+            timings[rule.id] += time.perf_counter() - start
+            for finding in raw:
+                ctx = ctx_by_path.get(finding.path)
+                if ctx is not None and _is_suppressed(finding,
+                                                      ctx.suppressions):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+
+    run_phase(lambda rule: rule.check_project(contexts, root))
+    run_phase(lambda rule: rule.check_program(program))
 
     baselined = 0
     if baseline_path:
@@ -309,24 +390,35 @@ def run_paths(paths: Sequence[str], *,
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return Report(findings=findings, suppressed=suppressed,
-                  baselined=baselined, files=len(files))
+                  baselined=baselined, files=len(files),
+                  timings=timings, program=program)
 
 
 def lint_source(source: str, virtual_path: str,
                 select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Run the per-file rules over in-memory ``source``.
+    """Run the per-file and program rules over in-memory ``source``.
 
     The self-test corpus uses this: ``virtual_path`` stands in for the
     real location, so path-scoped rules (RL003's ``mpc/backend.py``
     scope, RL004's ``src/`` scope) fire exactly as they would on disk.
-    Project-phase checks are not run.
+    The program phase runs over a single-file program (so RL008-RL012
+    corpus cases fire); project-phase checks (RL007's cross-file doc
+    drift) are not run.
     """
     ctx = make_context(virtual_path, source)
     out: List[Finding] = []
-    for rule in _load_rules(select):
+    rules = _load_rules(select)
+    for rule in rules:
         if rule.applies(ctx):
             for finding in rule.check(ctx):
                 if not _is_suppressed(finding, ctx.suppressions):
                     out.append(finding)
+    program = Program(contexts=[ctx], root=Path.cwd())
+    for rule in rules:
+        for finding in rule.check_program(program):
+            if finding.path == ctx.path \
+                    and _is_suppressed(finding, ctx.suppressions):
+                continue
+            out.append(finding)
     out.sort(key=lambda f: (f.line, f.rule))
     return out

@@ -1,0 +1,465 @@
+"""Whole-program flow analysis: call graph + per-function facts.
+
+Built **once per lint run** from the already-parsed file contexts and
+shared by every interprocedural rule (RL008..RL011) and the protocol
+model checker, so the project-wide pass stays one AST walk per file.
+Pure stdlib ``ast`` -- no type inference.  Resolution is by *name*:
+
+* ``self.helper(...)`` resolves to a method named ``helper`` on the
+  same class (or, failing that, any same-named method in the project);
+* ``module_func(...)`` / ``obj.func(...)`` resolve to every
+  project-level function/method with that terminal name.
+
+That is a deliberate over-approximation (one name, many candidates ->
+edges to all of them); the rules built on top are designed so an extra
+edge can only make them *more* conservative, never silently blind.
+``docs/lint-rules.md`` states per rule what the approximation misses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Dotted tail of a call target: ``a.b.c(...)`` -> ``c``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _own_nodes(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``func`` excluding bodies of nested function/class defs."""
+    skip: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and node is not func:
+            for sub in ast.walk(node):
+                if sub is not node:
+                    skip.add(id(sub))
+    for node in ast.walk(func):
+        if id(node) not in skip:
+            yield node
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str                  # terminal callee name
+    line: int
+    on_self: bool              # spelled ``self.name(...)``
+    attribute: bool = False    # spelled ``<expr>.name(...)``
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the flow rules need to know about one function."""
+
+    qname: str                 # "path::Class.name" or "path::name"
+    name: str
+    path: str
+    cls: Optional[str]
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    calls: List[CallSite] = field(default_factory=list)
+    decorators: FrozenSet[str] = frozenset()
+    #: Lines of direct ``charge_*`` calls in this body (RL008).
+    charge_lines: Tuple[int, ...] = ()
+    #: ``(op_name, line)`` of direct bulk backend/kernel op calls.
+    bulk_calls: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def charges(self) -> bool:
+        return bool(self.charge_lines)
+
+    @property
+    def public(self) -> bool:
+        return not self.name.startswith("_")
+
+
+class FlowGraph:
+    """Project-wide call graph over every linted file.
+
+    ``functions`` maps qualified names to :class:`FunctionInfo`;
+    ``callees(qname)`` yields resolved project-internal edges.  Build
+    time and size are exposed for ``--stats`` / ``--graph``.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._by_name: Dict[str, List[str]] = {}
+        self._by_class_method: Dict[Tuple[str, str], List[str]] = {}
+        self.edge_count = 0
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(cls, contexts: Sequence, bulk_ops: FrozenSet[str]
+              ) -> "FlowGraph":
+        graph = cls()
+        for ctx in contexts:
+            graph._index_module(ctx.path, ctx.tree, bulk_ops)
+        for info in graph.functions.values():
+            graph.edge_count += len(list(graph.callees(info.qname)))
+        return graph
+
+    def _index_module(self, path: str, tree: ast.Module,
+                      bulk_ops: FrozenSet[str]) -> None:
+        def visit(body, cls_name: Optional[str]) -> None:
+            for node in body:
+                if isinstance(node, ast.ClassDef):
+                    visit(node.body, node.name)
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    self._index_function(path, node, cls_name, bulk_ops)
+                    # Nested defs are indexed too (workers define
+                    # closures like run_op); attributed to the same
+                    # class scope.
+                    visit(node.body, cls_name)
+        visit(tree.body, None)
+
+    def _index_function(self, path: str, node, cls_name: Optional[str],
+                        bulk_ops: FrozenSet[str]) -> None:
+        qual = f"{cls_name}.{node.name}" if cls_name else node.name
+        qname = f"{path}::{qual}"
+        if qname in self.functions:  # redefinition: keep the last
+            qname = f"{qname}@{node.lineno}"
+        calls: List[CallSite] = []
+        charge_lines: List[int] = []
+        bulk_calls: List[Tuple[int, str]] = []
+        for sub in _own_nodes(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _terminal_name(sub.func)
+            if name is None:
+                continue
+            is_attr = isinstance(sub.func, ast.Attribute)
+            on_self = (is_attr
+                       and isinstance(sub.func.value, ast.Name)
+                       and sub.func.value.id == "self")
+            calls.append(CallSite(name=name, line=sub.lineno,
+                                  on_self=on_self, attribute=is_attr))
+            if name.startswith("charge_"):
+                charge_lines.append(sub.lineno)
+            if name in bulk_ops:
+                bulk_calls.append((sub.lineno, name))
+        decorators: Set[str] = set()
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dname = _terminal_name(target)
+            if dname:
+                decorators.add(dname)
+        info = FunctionInfo(
+            qname=qname, name=node.name, path=path, cls=cls_name,
+            node=node, calls=calls, decorators=frozenset(decorators),
+            charge_lines=tuple(sorted(charge_lines)),
+            bulk_calls=tuple((n, ln) for ln, n in sorted(bulk_calls)),
+        )
+        self.functions[qname] = info
+        self._by_name.setdefault(node.name, []).append(qname)
+        if cls_name:
+            self._by_class_method.setdefault(
+                (cls_name, node.name), []).append(qname)
+
+    # -- resolution ------------------------------------------------------
+
+    #: Builtin-collection method names.  ``health.update(...)`` must not
+    #: resolve to every project method named ``update``: a non-self
+    #: attribute call with one of these names is overwhelmingly a
+    #: dict/list/set operation, and the false edges it would add connect
+    #: *everything* to *everything* (one ``dict.update`` in a metrics
+    #: helper linked the whole session layer to the sampler hot path).
+    #: Self-calls and bare-name calls still resolve normally.
+    AMBIGUOUS_METHODS = frozenset({
+        "update", "get", "pop", "add", "append", "extend", "remove",
+        "discard", "clear", "keys", "values", "items", "copy", "insert",
+        "count", "index", "sort", "join", "split", "close", "send",
+        "recv", "put", "setdefault",
+    })
+
+    def resolve(self, caller: FunctionInfo,
+                site: CallSite) -> List[FunctionInfo]:
+        """Project-internal candidates for one call site."""
+        if site.on_self and caller.cls:
+            same_class = self._by_class_method.get((caller.cls, site.name))
+            if same_class:
+                return [self.functions[q] for q in same_class]
+        if not site.on_self and site.attribute \
+                and site.name in self.AMBIGUOUS_METHODS:
+            return []
+        return [self.functions[q]
+                for q in self._by_name.get(site.name, ())]
+
+    def callees(self, qname: str) -> Iterable[Tuple[CallSite, FunctionInfo]]:
+        info = self.functions.get(qname)
+        if info is None:
+            return
+        seen: Set[Tuple[int, str]] = set()
+        for site in info.calls:
+            for target in self.resolve(info, site):
+                key = (site.line, target.qname)
+                if key not in seen:
+                    seen.add(key)
+                    yield site, target
+
+    # -- queries ---------------------------------------------------------
+    def uncharged_bulk_paths(self, entry: FunctionInfo,
+                             max_depth: int = 8
+                             ) -> List[Tuple[List[FunctionInfo], Tuple[str, int]]]:
+        """Call paths from ``entry`` to a bulk-op call that cross no
+        ``charge_*`` call anywhere along the chain.
+
+        Returns ``(path, (op_name, op_line))`` per offending bulk call
+        site, one witness path each (the shortest found).  A function
+        that itself charges terminates the search below it: everything
+        it reaches is covered by its charge.
+        """
+        out: List[Tuple[List[FunctionInfo], Tuple[str, int]]] = []
+        reported: Set[Tuple[str, int]] = set()
+
+        def walk(info: FunctionInfo, path: List[FunctionInfo],
+                 depth: int) -> None:
+            if info.charges:
+                return  # this frame charges: the whole subtree is paid
+            for op_name, op_line in info.bulk_calls:
+                key = (info.qname, op_line)
+                if key not in reported:
+                    reported.add(key)
+                    out.append((path + [info], (op_name, op_line)))
+            if depth >= max_depth:
+                return
+            for site, target in self.callees(info.qname):
+                if target.qname == info.qname:
+                    continue
+                if any(target.qname == seen.qname for seen in path):
+                    continue  # cycle
+                walk(target, path + [info], depth + 1)
+
+        walk(entry, [], 0)
+        # Attribute each finding to its entry; drop paths whose bulk
+        # site is the entry itself only when the entry charges (handled
+        # above by the charges gate).
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        """A serializable dump of the graph (``--graph``)."""
+        nodes = []
+        edges = []
+        for qname in sorted(self.functions):
+            info = self.functions[qname]
+            nodes.append({
+                "qname": qname,
+                "path": info.path,
+                "line": info.node.lineno,
+                "class": info.cls,
+                "charges": info.charges,
+                "bulk_calls": [list(b) for b in info.bulk_calls],
+                "decorators": sorted(info.decorators),
+            })
+            for site, target in self.callees(qname):
+                edges.append({"caller": qname, "callee": target.qname,
+                              "line": site.line})
+        return {"nodes": nodes, "edges": edges,
+                "functions": len(nodes), "call_edges": len(edges)}
+
+
+# ---------------------------------------------------------------------------
+# Per-function leak-path analysis (RL009)
+# ---------------------------------------------------------------------------
+
+#: Method names that release a shared-memory handle.
+RELEASE_METHODS = frozenset({"close", "unlink"})
+#: Call names that register the handle with a tracked owner.
+REGISTER_CALLS = frozenset({"append", "add", "register"})
+
+
+@dataclass
+class LeakPath:
+    """One execution path on which a handle escapes unreleased."""
+
+    var: str
+    create_line: int
+    escape_line: int
+    kind: str  # "exception" | "fall-through"
+    detail: str
+
+
+def shm_leak_paths(func) -> List[LeakPath]:
+    """Paths on which a ``SharedMemory(create=True)`` local leaks.
+
+    A statement-level path walk (not a full CFG): the handle becomes
+    *safe* when it is closed/unlinked, returned, stored into an
+    attribute/subscript, or passed to an ``append``/``add``/``register``
+    call.  Any other call expression executed while the handle is live
+    **may raise**; unless an enclosing ``try`` has a handler or
+    ``finally`` that releases the handle (or the raise is re-raised
+    *after* releasing), that exception edge leaks the segment.  Falling
+    off the end of the function with a live, unregistered handle leaks
+    on the normal edge too.
+    """
+    creations: Dict[str, int] = {}
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call) \
+                and _terminal_name(node.value.func) == "SharedMemory":
+            if any(kw.arg == "create" and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is True
+                   for kw in node.value.keywords):
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    creations[target.id] = node.lineno
+    if not creations:
+        return []
+
+    leaks: List[LeakPath] = []
+
+    def releases(stmts, var: str) -> bool:
+        """Do ``stmts`` (a handler/finally body) release ``var``?"""
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    name = _terminal_name(sub.func) or ""
+                    if name in RELEASE_METHODS and isinstance(
+                            sub.func, ast.Attribute) and isinstance(
+                            sub.func.value, ast.Name) \
+                            and sub.func.value.id == var:
+                        return True
+                    # A bare self.close()-style call releases every
+                    # registered handle; only trust it for the cleanup
+                    # hints convention.
+                    if name in RELEASE_METHODS or "release" in name:
+                        return True
+        return False
+
+    def stmt_makes_safe(stmt, var: str) -> bool:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                name = _terminal_name(sub.func) or ""
+                if name in RELEASE_METHODS and isinstance(
+                        sub.func, ast.Attribute) and isinstance(
+                        sub.func.value, ast.Name) \
+                        and sub.func.value.id == var:
+                    return True
+                if name in REGISTER_CALLS and any(
+                        isinstance(arg, ast.Name) and arg.id == var
+                        for arg in sub.args):
+                    return True
+            if isinstance(sub, ast.Assign):
+                used = {n.id for n in ast.walk(sub.value)
+                        if isinstance(n, ast.Name)}
+                if var in used and any(
+                        isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in sub.targets):
+                    return True
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                used = {n.id for n in ast.walk(sub.value)
+                        if isinstance(n, ast.Name)}
+                if var in used:
+                    return True
+        return False
+
+    def stmt_may_raise(stmt, var: str) -> Optional[int]:
+        """Line of the first call in ``stmt`` that may raise while the
+        handle is live (the safe-making call itself is exempt)."""
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Raise):
+                return sub.lineno
+            if isinstance(sub, ast.Call):
+                name = _terminal_name(sub.func) or ""
+                if name in RELEASE_METHODS or name in REGISTER_CALLS:
+                    continue
+                if name == "SharedMemory":
+                    continue  # the creation itself
+                return sub.lineno
+        return None
+
+    def walk_body(body, var: str, live: bool, created: bool,
+                  guards: List[tuple]) -> Tuple[bool, bool]:
+        """Walk a statement list; returns (live, created) at its end.
+
+        ``guards`` is the stack of enclosing ``(handler_releases,
+        finally_releases)`` facts for this variable.
+        """
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) \
+                    and isinstance(stmt.value, ast.Call) \
+                    and _terminal_name(stmt.value.func) == "SharedMemory" \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and stmt.targets[0].id == var:
+                live, created = True, True
+                continue
+            if not created:
+                # Before the creation nothing can leak this var.
+                if isinstance(stmt, ast.Try):
+                    live, created = walk_body(
+                        stmt.body, var, live, created, guards)
+                    for handler in stmt.handlers:
+                        walk_body(handler.body, var, live, created, guards)
+                    live, created = walk_body(
+                        stmt.orelse, var, live, created, guards)
+                    live, created = walk_body(
+                        stmt.finalbody, var, live, created, guards)
+                elif isinstance(stmt, (ast.If, ast.For, ast.While,
+                                       ast.With)):
+                    bodies = [stmt.body, getattr(stmt, "orelse", [])]
+                    for sub_body in bodies:
+                        live, created = walk_body(
+                            sub_body, var, live, created, guards)
+                continue
+            if not live:
+                continue
+            if stmt_makes_safe(stmt, var):
+                live = False
+                continue
+            if isinstance(stmt, ast.Try):
+                handler_safe = any(releases(h.body, var)
+                                   for h in stmt.handlers) \
+                    and len(stmt.handlers) > 0
+                final_safe = releases(stmt.finalbody, var)
+                inner = guards + [(handler_safe, final_safe)]
+                live, created = walk_body(stmt.body, var, live, created,
+                                          inner)
+                for handler in stmt.handlers:
+                    walk_body(handler.body, var, live, created, guards)
+                live, created = walk_body(stmt.orelse, var, live,
+                                          created, inner)
+                live, created = walk_body(stmt.finalbody, var, live,
+                                          created, guards)
+                continue
+            if isinstance(stmt, (ast.If, ast.For, ast.While, ast.With)):
+                branch_live = live
+                for sub_body in [stmt.body, getattr(stmt, "orelse", [])]:
+                    sub_live, created = walk_body(sub_body, var, live,
+                                                  created, guards)
+                    branch_live = branch_live and sub_live
+                # Conservative: live unless *every* branch made it safe
+                # (the straight-line branch keeps it live anyway).
+                live = branch_live
+                continue
+            raise_line = stmt_may_raise(stmt, var)
+            if raise_line is not None and not any(
+                    h or f for h, f in guards):
+                leaks.append(LeakPath(
+                    var=var, create_line=creations[var],
+                    escape_line=raise_line, kind="exception",
+                    detail=(f"a call on line {raise_line} may raise "
+                            f"while {var!r} is live and no enclosing "
+                            f"try releases it"),
+                ))
+                # Report once per creation; keep walking for the
+                # fall-through check but stop duplicating.
+                live = False
+        return live, created
+
+    for var, line in creations.items():
+        live, created = walk_body(func.body, var, False, False, [])
+        if live and created:
+            leaks.append(LeakPath(
+                var=var, create_line=line,
+                escape_line=func.body[-1].lineno, kind="fall-through",
+                detail=(f"{var!r} is still live and unregistered when "
+                        f"the function falls off the end"),
+            ))
+    return leaks

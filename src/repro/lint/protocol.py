@@ -1,0 +1,744 @@
+"""Wire-protocol model checker for the shared-memory backend (RL012).
+
+The shared-memory backend's exactly-once story rests on a small state
+machine spread across four functions in ``repro.mpc.backend``:
+
+* ``_worker_main``   -- ring seq check + status-slot brackets + ack
+* ``_classify_failures`` -- kill-then-read-slot crash classification
+* ``_respawn_worker``    -- seq/status/opid reset on replacement
+* ``_dispatch_ops``      -- per-attempt packing + opid per send
+
+Rather than hand-maintaining a model that silently drifts from the
+code, this module *extracts* the machine from the AST (a fixed fact
+vector -- see :class:`ProtocolModel`) and then exhaustively explores a
+bounded parent x worker x fault interleaving space parameterized by
+those facts.  Reachable bad states (double-apply, half-applied op
+retried, success recorded for an unapplied op, broken latched on a
+cleanly-completed op, transport failure with no injected fault) fail
+the lint run with a human-readable counterexample trace.
+
+The fault branch points mirror ``repro.mpc.faults`` kinds: ``kill``
+(modeled at four interleaving points: before receive, mid-apply,
+after-apply-before-post-write, after-post-write-before-ack), ``hang``
+(op queued in a live-but-stuck worker), ``drop`` (ack suppressed) and
+``truncate`` (ring record corrupted -> desync reply).  ``delay`` is
+timing-only and has no protocol-visible effect beyond ``hang``.
+
+See ``docs/protocol-model.md`` for the extracted machine, the checked
+properties, and how to update the model when the protocol changes.
+"""
+from __future__ import annotations
+
+import ast
+import json
+from collections import deque
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ProtocolModel",
+    "BadState",
+    "CheckResult",
+    "extract_model",
+    "check_model",
+    "check_backend_source",
+    "REQUIRED_FUNCTIONS",
+    "GOOD_FACTS",
+]
+
+REQUIRED_FUNCTIONS = (
+    "_worker_main",
+    "_classify_failures",
+    "_dispatch_ops",
+    "_respawn_worker",
+)
+
+#: Fault interleaving points explored per send (besides "none").
+FAULT_KINDS = (
+    "kill_before",   # worker dies before receiving the op
+    "kill_mid",      # dies mid-apply: shard half-written (partial)
+    "kill_after",    # dies after apply, before the +opid post-write
+    "kill_done",     # dies after the post-write, before the ack
+    "hang",          # op queued in a live-but-stuck worker
+    "drop_ack",      # executes fully, ack suppressed
+    "truncate",      # ring record corrupted -> desync reply
+)
+
+
+# --------------------------------------------------------------------------
+# Fact extraction
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """The fact vector extracted from ``mpc/backend.py``'s AST.
+
+    Every field parameterizes one transition of the explored state
+    machine; ``missing`` lists required functions that could not be
+    found (extraction is then incomplete and checking is skipped).
+    """
+
+    pre_sign: Optional[str] = None      # status write before run_op: neg/pos
+    post_sign: Optional[str] = None     # status write after run_op
+    worker_acks: bool = False           # ("ok", payload) sent after run_op
+    checks_seq: bool = False            # seq != expected_seq rejected
+    increments_seq: bool = False        # expected_seq += 1 on accept
+    desync_continues: bool = False      # desync reply skips execution
+    resets_seq: bool = False            # _ring_seqs[wid] = 0 on respawn
+    resets_status: bool = False         # _status_view[wid] = 0 on respawn
+    resets_opid: bool = False           # _op_ids[wid] = 0 on respawn
+    kills_before_classify: bool = False  # _kill_worker before slot read
+    completed_counts_success: bool = False  # slot==+opid -> never re-applied
+    partial_latches_broken: bool = False    # slot==-opid -> SketchError
+    packs_per_attempt: bool = False     # ring record re-packed per retry
+    opid_per_send: bool = False         # _op_ids[wid] += 1 per attempt
+    missing: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    def facts(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name)
+                for f in dc_fields(self) if f.name != "missing"}
+
+    def drift(self) -> List[Tuple[str, object, object]]:
+        """(fact, expected, extracted) for every fact off the reference."""
+        return [(name, GOOD_FACTS[name], actual)
+                for name, actual in self.facts().items()
+                if actual != GOOD_FACTS[name]]
+
+
+#: The reference machine: what a correct backend extracts to.
+GOOD_FACTS: Dict[str, object] = {
+    "pre_sign": "neg",
+    "post_sign": "pos",
+    "worker_acks": True,
+    "checks_seq": True,
+    "increments_seq": True,
+    "desync_continues": True,
+    "resets_seq": True,
+    "resets_status": True,
+    "resets_opid": True,
+    "kills_before_classify": True,
+    "completed_counts_success": True,
+    "partial_latches_broken": True,
+    "packs_per_attempt": True,
+    "opid_per_send": True,
+}
+
+
+def _find_functions(tree: ast.AST) -> Dict[str, ast.FunctionDef]:
+    found: Dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name in REQUIRED_FUNCTIONS:
+            found.setdefault(node.name, node)
+    return found
+
+
+def _stmt_lists(node: ast.AST) -> Iterator[List[ast.stmt]]:
+    """Every statement list under ``node``, excluding nested defs."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(cur, name, None)
+            if block:
+                yield block
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)) and cur is not node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _status_sign(stmt: ast.stmt) -> Optional[str]:
+    """neg/pos if ``stmt`` (or a nested If body) writes a status slot."""
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            if "status" not in ast.unparse(target):
+                continue
+            value = node.value
+            if isinstance(value, ast.UnaryOp) and isinstance(value.op, ast.USub):
+                return "neg"
+            return "pos"
+    return None
+
+
+def _sends_tag(stmt: ast.stmt, tag: str) -> bool:
+    """True if ``stmt`` contains ``conn.send((tag, ...))``."""
+    for node in ast.walk(stmt):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send" and node.args):
+            arg = node.args[0]
+            if (isinstance(arg, ast.Tuple) and arg.elts
+                    and isinstance(arg.elts[0], ast.Constant)
+                    and arg.elts[0].value == tag):
+                return True
+    return False
+
+
+def _name_positive(test: ast.expr, name: str, polarity: bool = True) -> bool:
+    """True if ``name`` is referenced with positive polarity in ``test``."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _name_positive(test.operand, name, not polarity)
+    if isinstance(test, ast.BoolOp):
+        return any(_name_positive(v, name, polarity) for v in test.values)
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == name and polarity:
+            return True
+    return False
+
+
+def _slot_compare(test: ast.expr, want_neg: bool) -> bool:
+    """True if ``test`` contains ``slot == opid`` (or ``== -opid``)."""
+    def is_slot(n: ast.expr) -> bool:
+        return isinstance(n, ast.Name) and n.id == "slot"
+
+    def is_opid(n: ast.expr) -> bool:
+        if want_neg:
+            return (isinstance(n, ast.UnaryOp)
+                    and isinstance(n.op, ast.USub)
+                    and isinstance(n.operand, ast.Name)
+                    and n.operand.id == "opid")
+        return isinstance(n, ast.Name) and n.id == "opid"
+
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], ast.Eq):
+            continue
+        left, right = node.left, node.comparators[0]
+        if (is_slot(left) and is_opid(right)) or (is_slot(right)
+                                                  and is_opid(left)):
+            return True
+    return False
+
+
+def _extract_worker(func: ast.FunctionDef) -> Dict[str, object]:
+    facts: Dict[str, object] = {
+        "pre_sign": None, "post_sign": None, "worker_acks": False,
+        "checks_seq": False, "increments_seq": False,
+        "desync_continues": False,
+    }
+    # Locate the routed-op execution statement (the run_op call).
+    for block in _stmt_lists(func):
+        for idx, stmt in enumerate(block):
+            if not isinstance(stmt, (ast.Assign, ast.Expr)):
+                continue
+            if "run_op(" not in ast.unparse(stmt):
+                continue
+            for prev in reversed(block[:idx]):
+                sign = _status_sign(prev)
+                if sign is not None:
+                    facts["pre_sign"] = sign
+                    break
+            for nxt in block[idx + 1:]:
+                sign = _status_sign(nxt)
+                if sign is not None:
+                    facts["post_sign"] = sign
+                    break
+            facts["worker_acks"] = any(
+                _sends_tag(nxt, "ok") for nxt in block[idx + 1:])
+    for node in ast.walk(func):
+        if isinstance(node, ast.If):
+            src = ast.unparse(node.test)
+            if "expected_seq" in src and "!=" in src:
+                facts["checks_seq"] = True
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "expected_seq"):
+            facts["increments_seq"] = True
+        if isinstance(node, ast.ExceptHandler):
+            if any(_sends_tag(s, "desync") for s in node.body):
+                facts["desync_continues"] = any(
+                    isinstance(n, ast.Continue)
+                    for s in node.body for n in ast.walk(s))
+    return facts
+
+
+def _extract_respawn(func: ast.FunctionDef) -> Dict[str, object]:
+    facts = {"resets_seq": False, "resets_status": False,
+             "resets_opid": False}
+    keys = (("_ring_seqs[", "resets_seq"),
+            ("_status_view[", "resets_status"),
+            ("_op_ids[", "resets_opid"))
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Constant)
+                and node.value.value == 0):
+            continue
+        target_src = "".join(ast.unparse(t) for t in node.targets)
+        for needle, fact in keys:
+            if needle in target_src:
+                facts[fact] = True
+    return facts
+
+
+def _extract_classify(func: ast.FunctionDef) -> Dict[str, object]:
+    facts = {"kills_before_classify": False,
+             "completed_counts_success": False,
+             "partial_latches_broken": False}
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_kill_worker"):
+            facts["kills_before_classify"] = True
+        if isinstance(node, ast.If):
+            has_raise = any(isinstance(n, ast.Raise)
+                            for s in node.body for n in ast.walk(s))
+            if (_slot_compare(node.test, want_neg=False)
+                    and _name_positive(node.test, "mutating")
+                    and not has_raise):
+                facts["completed_counts_success"] = True
+            if (_slot_compare(node.test, want_neg=True)
+                    and _name_positive(node.test, "mutating")
+                    and has_raise):
+                facts["partial_latches_broken"] = True
+    return facts
+
+
+def _extract_dispatch(func: ast.FunctionDef) -> Dict[str, object]:
+    facts = {"packs_per_attempt": False, "opid_per_send": False}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.While):
+            continue
+        for inner in ast.walk(node):
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "_ring_pack"):
+                facts["packs_per_attempt"] = True
+            if (isinstance(inner, ast.AugAssign)
+                    and isinstance(inner.op, ast.Add)
+                    and "_op_ids[" in ast.unparse(inner.target)):
+                facts["opid_per_send"] = True
+    return facts
+
+
+def extract_model(source: str) -> ProtocolModel:
+    """Extract the protocol fact vector from backend module source."""
+    tree = ast.parse(source)
+    funcs = _find_functions(tree)
+    missing = tuple(n for n in REQUIRED_FUNCTIONS if n not in funcs)
+    facts: Dict[str, object] = {}
+    if "_worker_main" in funcs:
+        facts.update(_extract_worker(funcs["_worker_main"]))
+    if "_respawn_worker" in funcs:
+        facts.update(_extract_respawn(funcs["_respawn_worker"]))
+    if "_classify_failures" in funcs:
+        facts.update(_extract_classify(funcs["_classify_failures"]))
+    if "_dispatch_ops" in funcs:
+        facts.update(_extract_dispatch(funcs["_dispatch_ops"]))
+    return ProtocolModel(missing=missing, **facts)
+
+
+# --------------------------------------------------------------------------
+# Bounded interleaving exploration
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _State:
+    """One explored protocol state (single worker, mutating ops)."""
+
+    op: int = 0            # index of the op being dispatched
+    attempt: int = 0       # failed attempts so far for this op
+    faults: int = 0        # faults injected so far
+    pseq: int = 0          # parent ring seq counter
+    popid: int = 0         # parent opid counter
+    tok_seq: int = 0       # seq packed into the in-flight token
+    tok_opid: int = 0      # opid attached to the in-flight token
+    alive: bool = True
+    wseq: int = 1          # worker expected_seq
+    slot: int = 0          # status-slot value
+    queued: int = 0        # opid queued in a hung worker (0 = none)
+    applied: Tuple[int, ...] = (0, 0)
+    partial: Tuple[bool, ...] = (False, False)
+    clean: bool = False    # last execution ran the handler to completion
+    degraded: bool = False
+    broken: bool = False
+
+    def mut(self, **kw) -> "_State":
+        data = {f.name: getattr(self, f.name) for f in dc_fields(self)}
+        data.update(kw)
+        return _State(**data)
+
+
+@dataclass(frozen=True)
+class BadState:
+    kind: str
+    trace: Tuple[str, ...]
+
+    def render(self) -> str:
+        steps = "\n".join(f"  {i + 1}. {step}"
+                          for i, step in enumerate(self.trace))
+        return f"reachable bad state `{self.kind}`:\n{steps}"
+
+
+@dataclass
+class CheckResult:
+    ok: bool
+    states: int
+    transitions: int
+    bad_states: List[BadState]
+    bounds: Dict[str, int]
+    facts: Dict[str, object] = field(default_factory=dict)
+    drift: List[Tuple[str, object, object]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "states": self.states,
+            "transitions": self.transitions,
+            "bounds": dict(self.bounds),
+            "facts": dict(self.facts),
+            "drift": [{"fact": f, "expected": e, "extracted": a}
+                      for f, e, a in self.drift],
+            "bad_states": [{"kind": b.kind, "trace": list(b.trace)}
+                           for b in self.bad_states],
+        }
+
+
+class _Explorer:
+    def __init__(self, model: ProtocolModel, n_ops: int, retries: int,
+                 max_faults: int, max_states: int):
+        self.m = model
+        self.n_ops = n_ops
+        self.retries = retries
+        self.max_faults = max_faults
+        self.max_states = max_states
+        self.bad: Dict[str, BadState] = {}
+        self.transitions = 0
+
+    # -- worker-side execution -------------------------------------------
+
+    def _exec(self, st: _State, opid: int, trace: List[str], *,
+              do_apply: bool, do_post: bool, clean: bool,
+              mark_partial: bool = False) -> _State:
+        """Apply one worker execution (possibly cut short by a kill)."""
+        op = st.op
+        slot = st.slot
+        if self.m.pre_sign == "neg":
+            slot = -opid
+        elif self.m.pre_sign == "pos":
+            slot = opid
+        applied = st.applied
+        partial = st.partial
+        if do_apply:
+            if applied[op] >= 1:
+                self._flag("double_apply", trace + [
+                    f"worker re-applies op{op} (already applied "
+                    f"{applied[op]}x): scatter double-applied"])
+            if partial[op]:
+                self._flag("partial_retry", trace + [
+                    f"worker re-runs op{op} on a half-applied shard: "
+                    f"partial state compounded"])
+            applied = _bump(applied, op)
+        if mark_partial:
+            partial = _set(partial, op, True)
+        if do_post:
+            if self.m.post_sign == "pos":
+                slot = opid
+            elif self.m.post_sign == "neg":
+                slot = -opid
+        return st.mut(slot=slot, applied=applied, partial=partial,
+                      clean=clean)
+
+    def _flag(self, kind: str, trace: List[str]) -> None:
+        if kind not in self.bad:
+            self.bad[kind] = BadState(kind, tuple(trace))
+
+    # -- transitions ------------------------------------------------------
+
+    def successors(self, st: _State, trace: List[str]
+                   ) -> Iterator[Tuple[_State, List[str]]]:
+        if st.broken or st.op >= self.n_ops:
+            return
+        if st.degraded:
+            ev = f"degraded: run op{st.op} in-process"
+            nxt = self._exec(st, opid=0, trace=trace + [ev],
+                             do_apply=True, do_post=False, clean=True)
+            # in-process run touches no slot: restore transport fields
+            nxt = nxt.mut(slot=st.slot, op=st.op + 1, attempt=0,
+                          clean=False)
+            yield nxt, trace + [ev]
+            return
+        kinds: List[str] = ["none"]
+        if st.faults < self.max_faults:
+            kinds.extend(FAULT_KINDS)
+        for kind in kinds:
+            yield from self._send(st, trace, kind)
+
+    def _send(self, st: _State, trace: List[str], fault: str
+              ) -> Iterator[Tuple[_State, List[str]]]:
+        m = self.m
+        fresh = st.attempt == 0
+        opid = st.popid + 1 if (fresh or m.opid_per_send) else st.tok_opid
+        popid = max(st.popid, opid)
+        if fresh or m.packs_per_attempt:
+            pseq = st.pseq + 1
+            tok_seq = pseq
+        else:
+            pseq, tok_seq = st.pseq, st.tok_seq
+        faults = st.faults + (0 if fault == "none" else 1)
+        st = st.mut(popid=popid, pseq=pseq, tok_seq=tok_seq,
+                    tok_opid=opid, faults=faults, clean=False)
+        ev = (f"parent sends op{st.op} attempt {st.attempt} "
+              f"(opid={opid}, seq={tok_seq}) fault={fault}")
+        trace = trace + [ev]
+        injected = fault != "none"
+
+        if fault == "kill_before":
+            yield from self._failure(st.mut(alive=False),
+                                     trace + ["worker dies before receive"],
+                                     injected, "worker died")
+            return
+        if fault == "hang":
+            yield from self._failure(
+                st.mut(queued=opid),
+                trace + ["worker hangs; op queued in its pipe"],
+                injected, "no ack within deadline")
+            return
+        if fault == "truncate" or (m.checks_seq and tok_seq != st.wseq):
+            reason = ("truncated ring record" if fault == "truncate" else
+                      f"seq {tok_seq} != expected {st.wseq}")
+            t2 = trace + [f"worker rejects transport: {reason} -> "
+                          f"('desync', ...) reply"]
+            nxt = st
+            if not m.desync_continues:
+                # Executing a rejected record decodes garbage: the
+                # shard ends in an unspecified (corrupt) state.
+                nxt = self._exec(nxt, opid, t2, do_apply=True,
+                                 do_post=True, clean=True,
+                                 mark_partial=True)
+                t2 = t2 + ["worker falls through and EXECUTES the "
+                           "rejected (corrupt) record"]
+            yield from self._failure(nxt, t2, injected,
+                                     "ring transport desync")
+            return
+        if tok_seq != st.wseq:
+            # Only reachable with the seq check extracted away: the
+            # worker decodes whatever sits at the stale ring offset.
+            self._flag("stale_read", trace + [
+                f"no seq discipline: worker decodes a stale ring record "
+                f"(token seq {tok_seq}, worker expected {st.wseq})"])
+            return
+        wseq = st.wseq + 1 if m.increments_seq else st.wseq
+        st = st.mut(wseq=wseq)
+        if fault == "kill_mid":
+            nxt = self._exec(st, opid, trace, do_apply=False,
+                             do_post=False, clean=False, mark_partial=True)
+            yield from self._failure(
+                nxt.mut(alive=False),
+                trace + [f"worker writes slot={nxt.slot}, dies "
+                         f"MID-APPLY (shard partial)"],
+                injected, "worker died")
+            return
+        if fault == "kill_after":
+            nxt = self._exec(st, opid, trace, do_apply=True,
+                             do_post=False, clean=False)
+            yield from self._failure(
+                nxt.mut(alive=False),
+                trace + [f"worker applies op{st.op}, dies before the "
+                         f"post-write (slot={nxt.slot})"],
+                injected, "worker died")
+            return
+        if fault == "kill_done":
+            nxt = self._exec(st, opid, trace, do_apply=True,
+                             do_post=True, clean=False)
+            yield from self._failure(
+                nxt.mut(alive=False),
+                trace + [f"worker applies + post-writes slot={nxt.slot}, "
+                         f"dies before ack"],
+                injected, "worker died")
+            return
+        # Full execution: "none" or "drop_ack".
+        nxt = self._exec(st, opid, trace, do_apply=True, do_post=True,
+                         clean=True)
+        ev = (f"worker applies op{st.op} (slot ends {nxt.slot:+d})")
+        if fault == "drop_ack":
+            yield from self._failure(
+                nxt, trace + [ev + ", ack dropped"], injected,
+                "no ack within deadline")
+            return
+        if not m.worker_acks:
+            yield from self._failure(
+                nxt, trace + [ev + ", but no ack is ever sent"], injected,
+                "no ack within deadline")
+            return
+        yield self._success(nxt, respawn=False), trace + [
+            ev + ", ack ok -> parent records success"]
+
+    def _success(self, st: _State, respawn: bool) -> _State:
+        if respawn:
+            st = self._respawn(st)
+        return st.mut(op=st.op + 1, attempt=0, tok_seq=0, tok_opid=0,
+                      clean=False, queued=0)
+
+    def _respawn(self, st: _State) -> _State:
+        m = self.m
+        return st.mut(
+            alive=True, wseq=1, queued=0,
+            slot=0 if m.resets_status else st.slot,
+            pseq=0 if m.resets_seq else st.pseq,
+            popid=0 if m.resets_opid else st.popid,
+        )
+
+    def _failure(self, st: _State, trace: List[str], injected: bool,
+                 reason: str) -> Iterator[Tuple[_State, List[str]]]:
+        trace = trace + [f"parent: transport failure ({reason})"]
+        if not injected:
+            self._flag("spurious_failure", trace + [
+                "no fault was injected on this attempt: the protocol "
+                "manufactured a transport failure on its own"])
+            return
+        m = self.m
+        if m.kills_before_classify:
+            st = st.mut(alive=False, queued=0)
+            yield from self._classify(
+                st, trace + ["classify: worker killed first (queued op, "
+                             "if any, dies with it)"])
+            return
+        if st.queued:
+            # Hung-but-alive worker: its queued op can run at any point
+            # relative to the slot read and the respawn kill.
+            ran = self._exec(st.mut(queued=0), st.queued, trace,
+                             do_apply=True, do_post=True, clean=True)
+            yield from self._classify(
+                ran, trace + ["hung worker wakes BEFORE the slot read "
+                              "and executes its queued op"])
+            yield from self._classify(
+                st, trace + ["slot read happens first; hung worker still "
+                             "holds its queued op"], queued_after=True)
+            yield from self._classify(
+                st.mut(queued=0),
+                trace + ["hung worker never wakes (killed by respawn)"])
+            return
+        yield from self._classify(st, trace)
+
+    def _classify(self, st: _State, trace: List[str],
+                  queued_after: bool = False
+                  ) -> Iterator[Tuple[_State, List[str]]]:
+        m = self.m
+        op, opid, slot = st.op, st.tok_opid, st.slot
+        trace = trace + [f"classify: slot={slot:+d} vs opid={opid}"]
+        if m.completed_counts_success and slot == opid:
+            if st.applied[op] != 1 or st.partial[op]:
+                self._flag("bad_success", trace + [
+                    f"classified completed-with-lost-ack, but op{op} "
+                    f"was applied {st.applied[op]}x"
+                    + (" and left partial" if st.partial[op] else "")
+                    + ": update lost or corrupted"])
+                return
+            nxt = self._success(st, respawn=True)
+            yield nxt, trace + [
+                "completed-with-lost-ack: success, never re-applied; "
+                "worker respawned"]
+            return
+        if m.partial_latches_broken and slot == -opid:
+            if st.clean:
+                self._flag("false_broken", trace + [
+                    f"worker ran op{op} to completion, yet the slot "
+                    f"still reads -opid: backend latches broken on a "
+                    f"healthy shard"])
+                return
+            yield st.mut(broken=True), trace + [
+                "mid-scatter crash: backend latches broken (correct "
+                "conservative latch)"]
+            return
+        # Retryable: op never started (as far as the parent can tell).
+        if queued_after:
+            st = self._exec(st.mut(queued=0), opid, trace,
+                            do_apply=True, do_post=True, clean=True)
+            trace = trace + ["hung worker wakes AFTER the slot read and "
+                             "executes its queued op"]
+        if st.attempt >= self.retries:
+            yield st.mut(degraded=True, attempt=0, alive=False), trace + [
+                "retries exhausted: degrade to in-process execution"]
+            return
+        nxt = self._respawn(st).mut(attempt=st.attempt + 1)
+        yield nxt, trace + [
+            f"respawn worker (seq->{nxt.pseq}, slot->{nxt.slot}, "
+            f"opid->{nxt.popid}); retry"]
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> Tuple[int, int]:
+        init = _State(applied=(0,) * self.n_ops,
+                      partial=(False,) * self.n_ops)
+        seen = {init}
+        queue: deque = deque([(init, [])])
+        while queue:
+            st, trace = queue.popleft()
+            for nxt, ntrace in self.successors(st, trace):
+                self.transitions += 1
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if len(seen) >= self.max_states:
+                    raise RuntimeError(
+                        f"protocol state space exceeded {self.max_states} "
+                        f"states; tighten the bounds")
+                queue.append((nxt, ntrace))
+        return len(seen), self.transitions
+
+
+def check_model(model: ProtocolModel, *, n_ops: int = 2, retries: int = 1,
+                max_faults: int = 2, max_states: int = 200_000
+                ) -> CheckResult:
+    """Exhaustively explore the bounded interleaving space of ``model``."""
+    if not model.complete:
+        raise ValueError(
+            "cannot check an incomplete model (missing: "
+            + ", ".join(model.missing) + ")")
+    exp = _Explorer(model, n_ops, retries, max_faults, max_states)
+    states, transitions = exp.run()
+    bad = sorted(exp.bad.values(), key=lambda b: b.kind)
+    return CheckResult(
+        ok=not bad,
+        states=states,
+        transitions=transitions,
+        bad_states=list(bad),
+        bounds={"ops": n_ops, "retries": retries,
+                "max_faults": max_faults},
+        facts=model.facts(),
+        drift=model.drift(),
+    )
+
+
+def check_backend_source(source: str, **bounds) -> CheckResult:
+    """Extract + check in one call (raises on incomplete extraction)."""
+    return check_model(extract_model(source), **bounds)
+
+
+def _bump(tup: Tuple[int, ...], idx: int) -> Tuple[int, ...]:
+    return tup[:idx] + (tup[idx] + 1,) + tup[idx + 1:]
+
+
+def _set(tup: Tuple[bool, ...], idx: int, val: bool) -> Tuple[bool, ...]:
+    return tup[:idx] + (val,) + tup[idx + 1:]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.lint.protocol [backend.py]`` -- ad-hoc check."""
+    import sys
+
+    args = list(argv if argv is not None else sys.argv[1:])
+    path = args[0] if args else "src/repro/mpc/backend.py"
+    with open(path, "r", encoding="utf-8") as fh:
+        result = check_backend_source(fh.read())
+    print(json.dumps(result.to_json(), indent=2))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -29,6 +29,21 @@ def render_text(report: Report) -> str:
     return "\n".join(lines)
 
 
+def render_stats(report: Report) -> str:
+    """Per-rule wall time + finding counts (``--stats``)."""
+    counts = report.counts()
+    lines = ["per-rule stats (wall time / findings):"]
+    total = 0.0
+    for rule_id in sorted(report.timings):
+        elapsed = report.timings[rule_id]
+        total += elapsed
+        lines.append(f"  {rule_id}  {elapsed * 1000:8.1f} ms  "
+                     f"{counts.get(rule_id, 0):4d} finding(s)")
+    lines.append(f"  total {total * 1000:6.1f} ms across "
+                 f"{report.files} file(s)")
+    return "\n".join(lines)
+
+
 def render_json(report: Report) -> str:
     payload = {
         "rule_pack": report.rule_pack,

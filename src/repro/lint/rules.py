@@ -677,7 +677,12 @@ class KernelTierParity(Rule):
         yield from self._parity_findings(cross)
 
 
-#: The rule pack, in reporting order.
+#: The rule pack, in reporting order.  The interprocedural flow rules
+#: (RL008-RL011) and the protocol model check (RL012) live in
+#: :mod:`repro.lint.flow_rules`; the import sits at the bottom because
+#: flow_rules imports helpers defined above.
+from repro.lint.flow_rules import FLOW_RULES  # noqa: E402
+
 ALL_RULES: List[Rule] = [
     SuppressionHygiene(),
     ShmLifecycle(),
@@ -687,4 +692,5 @@ ALL_RULES: List[Rule] = [
     ChargeAccounting(),
     HotPathPurity(),
     KernelTierParity(),
+    *FLOW_RULES,
 ]

@@ -124,6 +124,15 @@ Respawn / retry / degrade counts are exposed via ``health_counters()``
 and flow into :class:`~repro.mpc.metrics.PhaseMetrics` and
 ``GraphSession.report()``.  Deterministic fault injection for all of
 the above lives in :mod:`repro.mpc.faults` (``REPRO_BACKEND_FAULTS``).
+
+The seq/ack + status-slot + respawn discipline above is not just
+documented -- it is *model checked*.  :mod:`repro.lint.protocol`
+extracts the state machine from this module's AST
+(``_worker_main`` / ``_classify_failures`` / ``_dispatch_ops`` /
+``_respawn_worker``) and exhaustively explores bounded
+parent x worker x fault interleavings on every lint run (rule RL012),
+failing the run if an edit makes a double-apply, a half-applied retry,
+or a stale ring read reachable.  See ``docs/protocol-model.md``.
 """
 
 from __future__ import annotations

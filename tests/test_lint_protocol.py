@@ -1,0 +1,193 @@
+"""Protocol model checker: extraction fidelity + seeded-mutation harness.
+
+The checker in :mod:`repro.lint.protocol` extracts the ring seq/ack +
+status-slot + respawn state machine from ``repro/mpc/backend.py`` and
+exhaustively explores bounded parent x worker x fault interleavings.
+These tests pin both directions of its contract:
+
+* the *real* backend extracts completely, matches the reference fact
+  vector, and survives exploration (no reachable bad state);
+* nine seeded single-line protocol mutations are each caught with a
+  reachable bad-state counterexample trace.
+
+Every mutation below is a plain string replacement applied to a copy
+of the backend source -- the file on disk is never touched.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.lint import protocol
+from repro.lint.protocol import (
+    GOOD_FACTS,
+    check_backend_source,
+    check_model,
+    extract_model,
+)
+
+BACKEND = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro" / "mpc" / "backend.py"
+
+
+@pytest.fixture(scope="module")
+def backend_source():
+    return BACKEND.read_text(encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# The real backend
+# ---------------------------------------------------------------------------
+
+class TestRealBackend:
+    def test_extraction_is_complete(self, backend_source):
+        model = extract_model(backend_source)
+        assert model.complete, f"missing protocol functions: {model.missing}"
+
+    def test_extraction_matches_reference_facts(self, backend_source):
+        model = extract_model(backend_source)
+        assert model.drift() == [], (
+            "extracted machine drifted from the reference: "
+            f"{model.drift()}"
+        )
+        assert model.facts() == GOOD_FACTS
+
+    def test_exploration_passes_and_reports_state_space(self, backend_source):
+        result = check_backend_source(backend_source)
+        assert result.ok, "\n\n".join(b.render() for b in result.bad_states)
+        # The proof is only worth something if the explorer actually
+        # walked a state space: exhaustive, not vacuous.
+        assert result.states > 10
+        assert result.transitions > result.states
+        assert result.bounds == {"ops": 2, "retries": 1, "max_faults": 2}
+        assert result.drift == []
+
+    def test_result_serialises(self, backend_source):
+        payload = check_backend_source(backend_source).to_json()
+        assert payload["ok"] is True
+        assert payload["states"] > 0
+        assert payload["facts"] == {k: v for k, v in GOOD_FACTS.items()}
+
+
+# ---------------------------------------------------------------------------
+# Seeded mutations
+# ---------------------------------------------------------------------------
+
+# (name, old, new, kinds-that-may-flag-it). Each `old` must occur
+# exactly once in backend.py so the mutation is a single-line edit.
+MUTATIONS = [
+    (
+        "swap_brackets",  # pre-write uses +opid: partial looks complete
+        "status_view[worker_id] = -opid",
+        "status_view[worker_id] = opid",
+        {"bad_success", "double_apply"},
+    ),
+    (
+        "drop_post_write",  # completed op still reads -opid
+        "status_view[worker_id] = opid",
+        "pass",
+        {"false_broken"},
+    ),
+    (
+        "skip_seq_reset",  # respawned worker rejects every record
+        "self._ring_seqs[wid] = 0",
+        "pass",
+        {"spurious_failure"},
+    ),
+    (
+        "reapply_completed",  # completed mutating op is retried
+        "if slot == opid and mutating:",
+        "if slot == opid and not mutating:",
+        {"double_apply", "partial_retry", "bad_success"},
+    ),
+    (
+        "no_partial_latch",  # half-applied op is silently retried
+        "if mutating and slot == -opid:",
+        "if not mutating and slot == -opid:",
+        {"bad_success", "double_apply", "partial_retry"},
+    ),
+    (
+        "drop_ack_write",  # worker never acks: success looks like loss
+        'conn.send(("ok", payload))',
+        'conn.send(("okay", payload))',
+        {"spurious_failure"},
+    ),
+    (
+        "no_seq_increment",  # worker seq freezes; parent runs ahead
+        "expected_seq += 1",
+        "pass",
+        {"spurious_failure", "bad_success"},
+    ),
+    (
+        "no_kill_before_classify",  # hung worker applies after verdict
+        "self._kill_worker(wid)\n            slot = (int(self._status_view[wid])",
+        "slot = (int(self._status_view[wid])",
+        {"bad_success", "double_apply"},
+    ),
+    (
+        "desync_no_continue",  # rejected record falls through and runs
+        'conn.send(("desync", str(exc)))\n                        continue',
+        'conn.send(("desync", str(exc)))',
+        {"bad_success"},
+    ),
+]
+
+
+class TestSeededMutations:
+    @pytest.mark.parametrize(
+        "name,old,new,kinds", MUTATIONS, ids=[m[0] for m in MUTATIONS]
+    )
+    def test_mutation_is_caught(self, backend_source, name, old, new, kinds):
+        assert backend_source.count(old) == 1, (
+            f"mutation {name}: anchor occurs "
+            f"{backend_source.count(old)}x, need exactly 1"
+        )
+        mutated = backend_source.replace(old, new)
+        result = check_backend_source(mutated)
+        assert not result.ok, (
+            f"mutation {name} not caught: explorer saw {result.states} "
+            f"states and found no bad state"
+        )
+        found = {bad.kind for bad in result.bad_states}
+        assert found & kinds, (
+            f"mutation {name}: flagged as {sorted(found)}, "
+            f"expected one of {sorted(kinds)}"
+        )
+
+    @pytest.mark.parametrize(
+        "name,old,new,kinds", MUTATIONS, ids=[m[0] for m in MUTATIONS]
+    )
+    def test_counterexample_trace_is_readable(
+        self, backend_source, name, old, new, kinds
+    ):
+        mutated = backend_source.replace(old, new)
+        result = check_backend_source(mutated)
+        assert result.bad_states
+        rendered = result.bad_states[0].render()
+        # Human-readable: named bad state plus numbered trace steps.
+        assert "reachable bad state" in rendered
+        assert "1." in rendered
+        assert len(result.bad_states[0].trace) >= 2
+
+    def test_mutation_count_meets_floor(self):
+        assert len(MUTATIONS) >= 6
+
+
+# ---------------------------------------------------------------------------
+# Lint integration (RL012 surfaces the same result)
+# ---------------------------------------------------------------------------
+
+class TestLintIntegration:
+    def test_rl012_fires_on_mutated_source(self, backend_source):
+        from repro.lint.engine import lint_source
+
+        _, old, new, _ = MUTATIONS[2]  # skip_seq_reset
+        findings = lint_source(
+            backend_source.replace(old, new), "src/repro/mpc/backend.py"
+        )
+        assert any(f.rule == "RL012" for f in findings)
+
+    def test_incomplete_fragment_is_skipped(self):
+        model = extract_model("def _worker_main(conn):\n    pass\n")
+        assert not model.complete
+        with pytest.raises(ValueError):
+            check_model(model)
