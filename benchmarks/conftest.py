@@ -16,7 +16,7 @@ import pytest
 from repro import kernels
 from repro.baselines import DynamicConnectivityOracle
 from repro.core import MPCConnectivity
-from repro.lint.stamp import lint_stamp
+from repro.lint.stamp import lint_stamp, numeric_stamp
 from repro.mpc import MPCConfig
 from repro.streams import ChurnStream
 
@@ -56,6 +56,23 @@ def kernels_stamp() -> Dict[str, object]:
         "tier": kernels.active_tier(),
         "numba_available": kernels.numba_available(),
         "auto_fallbacks": kernels.counters()["auto_fallbacks"],
+    }
+
+
+def numeric_provenance() -> Dict[str, object]:
+    """RL013-RL016 proof provenance for ``BENCH_ingest.json``.
+
+    Stamped next to ``lint`` and ``kernels`` at every write site: the
+    rule-pack version and the kernel-tier verdict counts, so a
+    trajectory point records that the kernels it measured verified
+    overflow-free and residue-canonical (all ``proved`` on a healthy
+    tree; cached per process via ``repro.lint.stamp``).
+    """
+    stamp = numeric_stamp()
+    return {
+        "rule_pack": stamp["rule_pack"],
+        "verdicts": stamp["verdicts"],
+        "findings": stamp["findings"],
     }
 
 

@@ -48,7 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import kernels_stamp
+from conftest import kernels_stamp, numeric_provenance
 
 from repro.analysis import print_table
 from repro.lint.stamp import lint_stamp
@@ -106,6 +106,7 @@ def _merge_results(update: dict) -> None:
     payload["lint"] = {"rule_pack": stamp["rule_pack"],
                        "findings": stamp["findings"]}
     payload["kernels"] = kernels_stamp()
+    payload["numeric"] = numeric_provenance()
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 

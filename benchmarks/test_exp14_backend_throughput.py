@@ -45,7 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import kernels_stamp
+from conftest import kernels_stamp, numeric_provenance
 
 from repro import kernels
 from repro.analysis import print_table
@@ -199,6 +199,7 @@ def test_exp14_backend_throughput(benchmark):
     payload["lint"] = {"rule_pack": stamp["rule_pack"],
                        "findings": stamp["findings"]}
     payload["kernels"] = kernels_stamp()
+    payload["numeric"] = numeric_provenance()
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert measured["4"]["speedup"] >= SPEEDUP_FLOOR, (
@@ -319,6 +320,7 @@ def test_exp14_small_batch_fanout():
     payload["lint"] = {"rule_pack": stamp["rule_pack"],
                        "findings": stamp["findings"]}
     payload["kernels"] = kernels_stamp()
+    payload["numeric"] = numeric_provenance()
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert ring_vs_pipe >= SMALL_BATCH_RING_FLOOR, (

@@ -31,7 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import kernels_stamp
+from conftest import kernels_stamp, numeric_provenance
 
 from repro import kernels
 from repro.analysis import print_table
@@ -185,4 +185,5 @@ def test_exp15_kernel_tiers():
     payload["lint"] = {"rule_pack": stamp["rule_pack"],
                        "findings": stamp["findings"]}
     payload["kernels"] = kernels_stamp()
+    payload["numeric"] = numeric_provenance()
     _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

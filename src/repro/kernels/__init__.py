@@ -39,7 +39,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.errors import SketchError
-from repro.kernels import compiled_tier, numpy_tier, profile, registry
+from repro.kernels import checks, compiled_tier, numpy_tier, profile, registry
 from repro.mpc.config import read_env
 
 ENV_KERNELS = "REPRO_KERNELS"
@@ -110,9 +110,11 @@ def set_tier(tier: str) -> str:
             f"{', '.join(sorted(missing))}"
         )
     wrap = profile.enabled()
+    check = checks.enabled()
     bindings = globals()
     for name, impl in table.items():
-        bindings[name] = profile.wrap(name, impl) if wrap else impl
+        bound = checks.wrap(name, impl) if check else impl
+        bindings[name] = profile.wrap(name, bound) if wrap else bound
     global _ACTIVE_TIER
     _ACTIVE_TIER = tier
     return tier

@@ -30,6 +30,12 @@ Layout
     status/respawn state machine from ``mpc/backend.py`` and
     exhaustively explores bounded fault interleavings
     (``docs/protocol-model.md``).
+``numeric``
+    The value-interval/dtype abstract interpreter (RL013-RL016):
+    proves every ``@kernel_contract``-annotated kernel overflow-free
+    and residue-canonical on both tiers
+    (``docs/numeric-analysis.md``); ``python -m repro.lint.numeric``
+    reports the derived intervals.
 ``reporters``
     Text and JSON output.
 
@@ -41,6 +47,6 @@ every spawned worker.
 #: Version of the rule pack, recorded in JSON reports, baselines, and
 #: the ``lint`` field of BENCH_ingest.json.  Bump when rules are added
 #: or their detection logic changes meaningfully.
-RULE_PACK_VERSION = "2.0"
+RULE_PACK_VERSION = "3.0"
 
 __all__ = ["RULE_PACK_VERSION"]

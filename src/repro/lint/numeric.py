@@ -1,0 +1,2120 @@
+"""Value-interval + dtype abstract interpreter for the kernel tiers.
+
+Rules RL013-RL016 (rule pack 3.0).  Every kernel registered with
+``@numpy_kernel``/``@compiled_kernel`` and annotated with
+``@kernel_contract`` is evaluated symbolically: each argument starts
+at its declared ``(dtype, [lo, hi])`` lattice point and the
+interpreter pushes intervals through the numpy operations the kernels
+actually use (``+ - * // % >> << & | ^ ~``, ``astype``/``asarray``
+casts, ``np.where`` with branch refinement, ``np.add.at`` /
+``np.add.reduceat`` / ``sum`` / ``cumsum`` reductions, indexing and
+boolean-mask refinement, loops to fixpoint with widening).  Per kernel
+and per tier it proves:
+
+* **RL013** -- no intermediate exceeds its dtype's representable
+  range (the 29/32-bit limb decomposition actually prevents
+  uint64/int64 overflow), no division by a possibly-zero divisor;
+* **RL014** -- the declared return interval holds (canonical residues
+  stay in ``[0, p)``) and call-site arguments stay inside the callee
+  kernel's declared argument intervals;
+* **RL015** -- no *unmodeled* escape from the integer lattice: any op
+  that leaves int64/uint64 (a float64 conversion, a true division)
+  must be declared in the contract as a justified bounded-exact
+  escape, and a declared escape that never fires on either tier is
+  reported as stale;
+* **RL016** -- both registered tiers of a kernel carry *identical*
+  contracts (extending RL007's signature parity to semantics), the
+  contract's argument names match the function signature, and -- in a
+  file that has opted into contracts -- every registration carries
+  one.
+
+Findings are counterexample-style: the op, the derived interval, and
+the bound it violates, so a seeded mutation (a dropped ``& _MASK32``,
+a removed ``% MERSENNE_P``) reads back as an arithmetic fact.
+
+The interpreter is deliberately modest (see
+``docs/numeric-analysis.md`` for the modeled-op table and the trusted
+assumptions): calls to sibling kernels use the callee's *declared*
+contract, helper functions in the same module are analyzed
+interprocedurally with memoized per-interval summaries, and the
+``role="acc"`` / ``total=`` contract annotations inject the two
+externally-argued facts (exact accumulator cells, bounded length
+sums) the interval lattice cannot derive itself.
+
+Entry points: the rule classes in ``NUMERIC_RULES`` (wired into
+``repro.lint.rules.ALL_RULES``), :func:`analyze_program` /
+:func:`analyze_paths` for embedding, and ``python -m
+repro.lint.numeric`` with ``--intervals-report`` for CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Set, Tuple)
+
+from repro.lint.engine import (FileContext, Finding, Program, Rule,
+                               collect_files, find_project_root,
+                               make_context)
+
+# ---------------------------------------------------------------------------
+# The contract vocabulary (loaded from repro.kernels.registry by file
+# path so linting never imports numpy via the kernels package __init__)
+# ---------------------------------------------------------------------------
+
+_REGISTRY = None
+
+
+def _registry():
+    """The contract spec module (``repro.kernels.registry``).
+
+    Loaded straight from its file so the (numpy-importing) kernels
+    package ``__init__`` never runs inside the linter; falls back to a
+    normal import when the source tree layout is unexpected.
+    """
+    global _REGISTRY
+    if _REGISTRY is None:
+        path = (Path(__file__).resolve().parent.parent
+                / "kernels" / "registry.py")
+        if path.is_file():
+            import sys
+            spec = importlib.util.spec_from_file_location(
+                "_repro_lint_contract_registry", path)
+            mod = importlib.util.module_from_spec(spec)
+            # dataclasses resolves field types through sys.modules.
+            sys.modules[spec.name] = mod
+            spec.loader.exec_module(mod)
+            _REGISTRY = mod
+        else:  # pragma: no cover - installed-package layout
+            from repro.kernels import registry as mod
+            _REGISTRY = mod
+    return _REGISTRY
+
+
+#: Names a ``@kernel_contract`` decorator may call / reference.
+_SPEC_NAMES = ("u64_residue", "i64_residue", "u64_range", "i64_range",
+               "u64_any", "i64_any", "i64_acc", "bool_array",
+               "scalar_int", "escape")
+
+INF = 1 << 200
+U64_MAX = (1 << 64) - 1
+I64_MIN = -(1 << 63)
+I64_MAX = (1 << 63) - 1
+
+_KIND_BOUNDS = {
+    "uint64": (0, U64_MAX),
+    "int64": (I64_MIN, I64_MAX),
+    "bool": (0, 1),
+    "pyint": (-INF, INF),
+}
+
+_OP_SYM = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.FloorDiv: "//",
+    ast.Mod: "%", ast.LShift: "<<", ast.RShift: ">>",
+    ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^", ast.Div: "/",
+    ast.Pow: "**",
+}
+
+#: Registration decorators -> tier (local copy of the RL007 table so
+#: this module stays importable standalone).
+_REGISTRARS = {"numpy_kernel": "numpy", "compiled_kernel": "compiled"}
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AVal:
+    """One abstract value: a dtype kind plus an inclusive interval.
+
+    Non-numeric kinds carry structure instead of bounds: ``tuple``
+    (``elems``), ``cores`` (the compiled tier's jitted-core map),
+    ``shape``/``range``/``float64``/``none``/``unknown``.  ``tcons`` /
+    ``fcons`` on ``bool`` values record variable refinements valid
+    where the mask is true / false; ``fb`` on ``float64`` carries the
+    contract escape's declared result bounds through ``np.frexp``.
+    """
+
+    kind: str
+    lo: int = 0
+    hi: int = 0
+    role: str = "value"
+    total: Optional[int] = None
+    nonzero: bool = False
+    tcons: Tuple = ()
+    fcons: Tuple = ()
+    elems: Optional[Tuple["AVal", ...]] = None
+    fb: Optional[Tuple[int, int]] = None
+
+    @property
+    def is_num(self) -> bool:
+        return self.kind in _KIND_BOUNDS
+
+    @property
+    def is_empty(self) -> bool:
+        return self.is_num and self.lo > self.hi
+
+    def iv(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+UNKNOWN = AVal("unknown")
+NONE = AVal("none")
+
+
+def num(kind: str, lo: int, hi: int, **kw) -> AVal:
+    lo = max(lo, -INF)
+    hi = min(hi, INF)
+    return AVal(kind, lo, hi, **kw)
+
+
+def bot(kind: str) -> AVal:
+    """The empty interval of ``kind`` (``np.empty`` before any store)."""
+    return AVal(kind, 1, 0)
+
+
+def kind_bounds(kind: str) -> Tuple[int, int]:
+    return _KIND_BOUNDS[kind]
+
+
+def _join_kind(a: str, b: str) -> Optional[str]:
+    if a == b:
+        return a
+    if a == "pyint":
+        return b
+    if b == "pyint":
+        return a
+    if "bool" in (a, b):
+        return a if b == "bool" else b
+    return None
+
+
+def join(a: Optional[AVal], b: Optional[AVal]) -> AVal:
+    if a is None:
+        return b if b is not None else UNKNOWN
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if a.is_num and b.is_num:
+        if a.is_empty:
+            return replace(b, tcons=(), fcons=())
+        if b.is_empty:
+            return replace(a, tcons=(), fcons=())
+        kind = _join_kind(a.kind, b.kind)
+        if kind is None:
+            # uint64/int64 mix: track values only, drop dtype claims.
+            kind = "pyint"
+        role = "acc" if "acc" in (a.role, b.role) else (
+            a.role if a.role == b.role else "value")
+        return num(kind, min(a.lo, b.lo), max(a.hi, b.hi), role=role,
+                   total=a.total if a.total == b.total else None,
+                   nonzero=a.nonzero and b.nonzero)
+    if a.kind == b.kind == "tuple" and a.elems and b.elems \
+            and len(a.elems) == len(b.elems):
+        return AVal("tuple", elems=tuple(
+            join(x, y) for x, y in zip(a.elems, b.elems)))
+    if a.kind == b.kind:
+        return AVal(a.kind)
+    return UNKNOWN
+
+
+Env = Dict[str, AVal]
+
+
+def join_envs(envs: Sequence[Env]) -> Env:
+    envs = [e for e in envs if e is not None]
+    if not envs:
+        return None  # type: ignore[return-value]
+    if len(envs) == 1:
+        return dict(envs[0])
+    keys = set()
+    for e in envs:
+        keys.update(e)
+    out: Env = {}
+    for k in keys:
+        vals = [e[k] for e in envs if k in e]
+        v = vals[0]
+        for other in vals[1:]:
+            v = join(v, other)
+        out[k] = v
+    return out
+
+
+def _refine(env: Env, cons: Tuple) -> Env:
+    if not cons:
+        return env
+    out = dict(env)
+    for name, lo, hi, nz in cons:
+        v = out.get(name)
+        if v is None or not v.is_num:
+            continue
+        nlo = v.lo if lo is None else max(v.lo, lo)
+        nhi = v.hi if hi is None else min(v.hi, hi)
+        out[name] = replace(v, lo=nlo, hi=nhi,
+                            nonzero=v.nonzero or nz, tcons=(), fcons=())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Restricted contract-decorator evaluation
+# ---------------------------------------------------------------------------
+
+class ContractError(Exception):
+    pass
+
+
+def _ceval(node: ast.AST, names: Mapping[str, object]):
+    """Evaluate a contract sub-expression over the spec whitelist."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or isinstance(node.value, (int, str, bool)):
+            return node.value
+        raise ContractError(f"literal {node.value!r} not allowed")
+    if isinstance(node, ast.Name):
+        if node.id in names:
+            val = names[node.id]
+            if callable(val):
+                raise ContractError(
+                    f"{node.id} must be called, not referenced")
+            return val
+        raise ContractError(f"unknown name {node.id!r}")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_ceval(node.operand, names)
+    if isinstance(node, ast.BinOp):
+        ops = {ast.Add: lambda a, b: a + b, ast.Sub: lambda a, b: a - b,
+               ast.Mult: lambda a, b: a * b,
+               ast.LShift: lambda a, b: a << b,
+               ast.RShift: lambda a, b: a >> b,
+               ast.Pow: lambda a, b: a ** b,
+               ast.FloorDiv: lambda a, b: a // b,
+               ast.Mod: lambda a, b: a % b}
+        fn = ops.get(type(node.op))
+        if fn is None:
+            raise ContractError("operator not allowed in contract")
+        return fn(_ceval(node.left, names), _ceval(node.right, names))
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_ceval(e, names) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        out = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:
+                raise ContractError("** not allowed in contract args")
+            out[_ceval(k, names)] = _ceval(v, names)
+        return out
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) \
+                or node.func.id not in _SPEC_NAMES:
+            raise ContractError(
+                f"only the spec constructors {_SPEC_NAMES} may be "
+                f"called in a contract")
+        fn = names[node.func.id]
+        args = [_ceval(a, names) for a in node.args]
+        kwargs = {kw.arg: _ceval(kw.value, names)
+                  for kw in node.keywords if kw.arg}
+        try:
+            return fn(*args, **kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ContractError(str(exc))
+    raise ContractError(
+        f"{type(node).__name__} node not allowed in contract")
+
+
+def eval_contract_decorator(dec: ast.Call):
+    """``kernel_contract(...)`` decorator AST -> a Contract object."""
+    reg = _registry()
+    names = {n: getattr(reg, n) for n in _SPEC_NAMES}
+    names["MERSENNE_P"] = reg.MERSENNE_P
+    fields: Dict[str, object] = {}
+    order = ("args", "returns", "shape", "escapes", "mutates")
+    for idx, arg in enumerate(dec.args):
+        if idx >= len(order):
+            raise ContractError("too many positional contract fields")
+        fields[order[idx]] = _ceval(arg, names)
+    for kw in dec.keywords:
+        if kw.arg not in order:
+            raise ContractError(
+                f"unknown contract field {kw.arg!r}")
+        fields[kw.arg] = _ceval(kw.value, names)
+    if "args" not in fields or not isinstance(fields["args"], dict):
+        raise ContractError("contract needs an args={...} mapping")
+    args = fields["args"]
+    for name, spec in args.items():
+        if not isinstance(spec, reg.ValueSpec):
+            raise ContractError(
+                f"args[{name!r}] is not a value spec")
+    returns = fields.get("returns")
+    if returns is not None and not isinstance(returns, reg.ValueSpec):
+        raise ContractError("returns is not a value spec or None")
+    escapes = tuple(fields.get("escapes", ()) or ())
+    for esc in escapes:
+        if not isinstance(esc, reg.Escape):
+            raise ContractError("escapes entries must be escape(...)")
+    mutates = fields.get("mutates")
+    if mutates is not None and mutates not in args:
+        raise ContractError(
+            f"mutates={mutates!r} names no contract argument")
+    return reg.Contract(args=dict(args), returns=returns,
+                        shape=str(fields.get("shape", "elementwise")),
+                        escapes=escapes, mutates=mutates)
+
+
+def aval_from_spec(spec) -> AVal:
+    lo, hi = spec.bounds()
+    if spec.dtype == "pyint" and lo is None:
+        lo, hi = -INF, INF
+    return num(spec.dtype, lo, hi, role=spec.role, total=spec.total,
+               nonzero=lo > 0 or hi < 0)
+
+
+# ---------------------------------------------------------------------------
+# Module scanning
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Registration:
+    tier: str
+    kernel: str
+    func: ast.FunctionDef
+    contract: Optional[object] = None      # registry.Contract
+    contract_node: Optional[ast.AST] = None
+    contract_error: Optional[str] = None
+
+
+@dataclass
+class ModuleInfo:
+    ctx: FileContext
+    consts: Env = field(default_factory=dict)
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    skip_funcs: Set[str] = field(default_factory=set)
+    cores_names: Set[str] = field(default_factory=set)
+    cores: Dict[str, str] = field(default_factory=dict)
+    registrations: List[Registration] = field(default_factory=list)
+    func_contracts: Dict[str, object] = field(default_factory=dict)
+
+
+def _const_aval(node: ast.AST, consts: Env) -> Optional[AVal]:
+    """Evaluate a module-level constant expression to a singleton."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return num("pyint", node.value, node.value)
+    if isinstance(node, ast.Name):
+        v = consts.get(node.id)
+        return v if v is not None and v.lo == v.hi else None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_aval(node.operand, consts)
+        if inner is not None:
+            return num(inner.kind, -inner.hi, -inner.lo)
+        return None
+    if isinstance(node, ast.BinOp):
+        left = _const_aval(node.left, consts)
+        right = _const_aval(node.right, consts)
+        if left is None or right is None:
+            return None
+        ops = {ast.Add: lambda a, b: a + b, ast.Sub: lambda a, b: a - b,
+               ast.Mult: lambda a, b: a * b,
+               ast.LShift: lambda a, b: a << b,
+               ast.RShift: lambda a, b: a >> b,
+               ast.Mod: lambda a, b: a % b,
+               ast.FloorDiv: lambda a, b: a // b,
+               ast.Pow: lambda a, b: a ** b}
+        fn = ops.get(type(node.op))
+        if fn is None:
+            return None
+        try:
+            v = fn(left.lo, right.lo)
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return None
+        return num("pyint", v, v)
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        kind = {"np.uint64": "uint64", "np.int64": "int64",
+                "numpy.uint64": "uint64", "numpy.int64": "int64"}.get(
+                    dotted or "")
+        if kind and len(node.args) == 1:
+            inner = _const_aval(node.args[0], consts)
+            if inner is not None:
+                return num(kind, inner.lo, inner.hi)
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def scan_module(ctx: FileContext) -> ModuleInfo:
+    mod = ModuleInfo(ctx=ctx)
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = stmt.value
+            if value is None or len(targets) != 1 \
+                    or not isinstance(targets[0], ast.Name):
+                continue
+            name = targets[0].id
+            if isinstance(value, ast.Dict) and not value.keys:
+                mod.cores_names.add(name)
+                continue
+            aval = _const_aval(value, mod.consts)
+            if aval is not None:
+                mod.consts[name] = aval
+        elif isinstance(stmt, ast.FunctionDef):
+            mod.functions[stmt.name] = stmt
+            if any(isinstance(sub, ast.Global)
+                   for sub in ast.walk(stmt)):
+                mod.skip_funcs.add(stmt.name)
+    # Core-map wiring: _CORES.update(name=jit(func), ...) / _CORES[k]=f
+    for func in mod.functions.values():
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Call) \
+                    and isinstance(sub.func, ast.Attribute) \
+                    and sub.func.attr == "update" \
+                    and isinstance(sub.func.value, ast.Name) \
+                    and sub.func.value.id in mod.cores_names:
+                for kw in sub.keywords:
+                    target = _unwrap_func_ref(kw.value)
+                    if kw.arg and target:
+                        mod.cores[kw.arg] = target
+            elif isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                    and isinstance(sub.targets[0], ast.Subscript) \
+                    and isinstance(sub.targets[0].value, ast.Name) \
+                    and sub.targets[0].value.id in mod.cores_names:
+                key = sub.targets[0].slice
+                target = _unwrap_func_ref(sub.value)
+                if isinstance(key, ast.Constant) and target:
+                    mod.cores[str(key.value)] = target
+    # Registrations + contracts.
+    for func in mod.functions.values():
+        tier = kernel = None
+        contract_node = None
+        for dec in func.decorator_list:
+            if not isinstance(dec, ast.Call):
+                continue
+            dec_name = _dotted(dec.func)
+            dec_name = dec_name.split(".")[-1] if dec_name else ""
+            if dec_name in _REGISTRARS and dec.args \
+                    and isinstance(dec.args[0], ast.Constant) \
+                    and isinstance(dec.args[0].value, str):
+                tier = _REGISTRARS[dec_name]
+                kernel = dec.args[0].value
+            elif dec_name == "kernel_contract":
+                contract_node = dec
+        if tier is None:
+            continue
+        reg = Registration(tier=tier, kernel=kernel, func=func,
+                           contract_node=contract_node)
+        if contract_node is not None:
+            try:
+                reg.contract = eval_contract_decorator(contract_node)
+                mod.func_contracts[func.name] = reg.contract
+            except ContractError as exc:
+                reg.contract_error = str(exc)
+        mod.registrations.append(reg)
+    return mod
+
+
+def _unwrap_func_ref(node: ast.AST) -> Optional[str]:
+    """``jit(_core)`` / ``_core`` -> ``"_core"``."""
+    while isinstance(node, ast.Call) and len(node.args) == 1:
+        node = node.args[0]
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Interval arithmetic
+# ---------------------------------------------------------------------------
+
+def _mult_bounds(a: AVal, b: AVal) -> Tuple[int, int]:
+    cands = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+    return min(cands), max(cands)
+
+
+def _shift_amount(b: AVal) -> Tuple[int, int]:
+    return max(b.lo, 0), min(b.hi, 256)
+
+
+def _div_points(d: AVal) -> List[int]:
+    pts = []
+    for p in (d.lo, d.hi, -1, 1):
+        if d.lo <= p <= d.hi and p != 0:
+            pts.append(p)
+    if not pts:
+        # Divisor interval is exactly {0}; caller reported already.
+        pts = [1]
+    return pts
+
+
+def _floordiv_bounds(a: AVal, d: AVal) -> Tuple[int, int]:
+    cands = []
+    for x in (a.lo, a.hi):
+        for p in _div_points(d):
+            cands.append(x // p)
+    return min(cands), max(cands)
+
+
+def _mod_bounds(d: AVal) -> Tuple[int, int]:
+    lo = hi = 0
+    if d.hi > 0:
+        hi = d.hi - 1
+    if d.lo < 0:
+        lo = d.lo + 1
+    return lo, hi
+
+
+def _bitlen(v: int) -> int:
+    return max(v, 0).bit_length()
+
+
+# ---------------------------------------------------------------------------
+# The interpreter frame
+# ---------------------------------------------------------------------------
+
+class _Budget(Exception):
+    pass
+
+
+@dataclass
+class LoopRec:
+    breaks: List[Env] = field(default_factory=list)
+    continues: List[Env] = field(default_factory=list)
+
+
+class Frame:
+    """Per-(kernel, tier) analysis state."""
+
+    MAX_STEPS = 400_000
+
+    def __init__(self, mod: ModuleInfo, kernel: str, tier: str,
+                 contract) -> None:
+        self.mod = mod
+        self.kernel = kernel
+        self.tier = tier
+        self.contract = contract
+        self.escapes = {e.kind: e for e in contract.escapes}
+        self.used: Set[str] = set()
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple] = set()
+        self.returns: List[AVal] = []
+        self.loops: List[LoopRec] = []
+        self.callstack: List[str] = []
+        self.memo: Dict[Tuple, AVal] = {}
+        self.quiet = 0
+        self.steps = 0
+
+    # -- reporting -----------------------------------------------------
+    def where(self) -> str:
+        return f"kernel {self.kernel!r} ({self.tier} tier)"
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.quiet:
+            return
+        key = (rule, getattr(node, "lineno", 1), message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(
+            rule=rule, path=self.mod.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1, message=message))
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.MAX_STEPS:
+            raise _Budget()
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, node: ast.AST, env: Env) -> AVal:
+        self.tick()
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return num("bool", int(v), int(v))
+            if isinstance(v, int):
+                return num("pyint", v, v, nonzero=v != 0)
+            if v is None:
+                return NONE
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return self._name(node, env)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node, env)
+        if isinstance(node, ast.Tuple):
+            return AVal("tuple", elems=tuple(
+                self.eval(e, env) for e in node.elts))
+        if isinstance(node, ast.List):
+            return AVal("tuple", elems=tuple(
+                self.eval(e, env) for e in node.elts))
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self.arith(node, type(node.op), left, right)
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node, env)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node, env)
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_load(node, env)
+        if isinstance(node, ast.IfExp):
+            cond = self.eval(node.test, env)
+            t = self.eval(node.body, _refine(env, cond.tcons))
+            f = self.eval(node.orelse, _refine(env, cond.fcons))
+            return join(t, f)
+        if isinstance(node, ast.Slice):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _name(self, node: ast.Name, env: Env) -> AVal:
+        name = node.id
+        if name in env:
+            return env[name]
+        if name in self.mod.consts:
+            return self.mod.consts[name]
+        if name in self.mod.cores_names:
+            return AVal("cores")
+        if name in self.mod.functions:
+            return AVal("func", elems=None, fb=None,
+                        role="value", total=None)
+        if name in ("np", "numpy", "numba"):
+            return AVal("module")
+        self.emit("RL013", node,
+                  f"name {name!r} in {self.where()} has no statically "
+                  f"known interval (not a parameter, local, or "
+                  f"evaluable module constant)")
+        return UNKNOWN
+
+    def _attribute(self, node: ast.Attribute, env: Env) -> AVal:
+        if node.attr == "shape":
+            self.eval(node.value, env)
+            return AVal("shape")
+        dotted = _dotted(node)
+        if dotted and dotted.split(".")[0] in ("np", "numpy"):
+            return AVal("npfunc")
+        base = self.eval(node.value, env)
+        if node.attr == "T":
+            return base
+        return UNKNOWN
+
+    def _unary(self, node: ast.UnaryOp, env: Env) -> AVal:
+        v = self.eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            if v.kind == "bool":
+                return replace(v, tcons=v.fcons, fcons=v.tcons)
+            return num("bool", 0, 1)
+        if isinstance(node.op, ast.Invert):
+            if v.kind == "bool":
+                return replace(v, tcons=v.fcons, fcons=v.tcons)
+            if not v.is_num or v.is_empty:
+                return v if v.is_num else UNKNOWN
+            if v.kind == "uint64":
+                return num("uint64", U64_MAX - v.hi, U64_MAX - v.lo)
+            return num(v.kind, -v.hi - 1, -v.lo - 1)
+        if isinstance(node.op, ast.USub):
+            zero = num(v.kind if v.is_num else "pyint", 0, 0)
+            return self.arith(node, ast.Sub, zero, v)
+        if isinstance(node.op, ast.UAdd):
+            return v
+        return UNKNOWN
+
+    def _boolop(self, node: ast.BoolOp, env: Env) -> AVal:
+        vals = [self.eval(v, env) for v in node.values]
+        tcons: Tuple = ()
+        fcons: Tuple = ()
+        if isinstance(node.op, ast.And):
+            for v in vals:
+                tcons = tcons + v.tcons
+        else:
+            for v in vals:
+                fcons = fcons + v.fcons
+        return num("bool", 0, 1, tcons=tcons, fcons=fcons)
+
+    def _cons_for(self, opcls, name: str, other: AVal) -> Tuple[Tuple,
+                                                                Tuple]:
+        """(tcons, fcons) refining ``name`` from ``name <op> other``."""
+        if not other.is_num or other.is_empty:
+            return (), ()
+        t: List = []
+        f: List = []
+        if opcls is ast.GtE:
+            t.append((name, other.lo, None, False))
+            f.append((name, None, other.hi - 1, False))
+        elif opcls is ast.Gt:
+            t.append((name, other.lo + 1, None, False))
+            f.append((name, None, other.hi, False))
+        elif opcls is ast.LtE:
+            t.append((name, None, other.hi, False))
+            f.append((name, other.lo + 1, None, False))
+        elif opcls is ast.Lt:
+            t.append((name, None, other.hi - 1, False))
+            f.append((name, other.lo, None, False))
+        elif opcls is ast.Eq:
+            t.append((name, other.lo, other.hi, False))
+            if other.lo == other.hi == 0:
+                f.append((name, None, None, True))
+        elif opcls is ast.NotEq:
+            if other.lo == other.hi == 0:
+                t.append((name, None, None, True))
+            f.append((name, other.lo, other.hi, False))
+        return tuple(t), tuple(f)
+
+    _MIRROR = {ast.Lt: ast.Gt, ast.Gt: ast.Lt, ast.LtE: ast.GtE,
+               ast.GtE: ast.LtE, ast.Eq: ast.Eq, ast.NotEq: ast.NotEq}
+
+    def _compare(self, node: ast.Compare, env: Env) -> AVal:
+        tcons: Tuple = ()
+        fcons: Tuple = ()
+        left_node = node.left
+        left = self.eval(left_node, env)
+        single = len(node.ops) == 1
+        for opcls_obj, right_node in zip(node.ops, node.comparators):
+            opcls = type(opcls_obj)
+            right = self.eval(right_node, env)
+            if opcls in self._MIRROR:
+                if isinstance(left_node, ast.Name):
+                    t, f = self._cons_for(opcls, left_node.id, right)
+                    tcons += t
+                    fcons += f
+                if isinstance(right_node, ast.Name):
+                    t, f = self._cons_for(self._MIRROR[opcls],
+                                          right_node.id, left)
+                    tcons += t
+                    fcons += f
+            left_node = right_node
+            left = right
+        if not single:
+            fcons = ()  # chained comparisons: negation is a disjunction
+        return num("bool", 0, 1, tcons=tcons, fcons=fcons)
+
+    # -- arithmetic ----------------------------------------------------
+    def arith(self, node: ast.AST, opcls, a: AVal, b: AVal) -> AVal:
+        sym = _OP_SYM.get(opcls, "?")
+        if a.kind in ("tuple", "shape") or b.kind in ("tuple", "shape"):
+            if opcls is ast.Add:
+                return AVal("shape")
+            return UNKNOWN
+        if a.kind == "unknown" or b.kind == "unknown":
+            return UNKNOWN
+        if a.kind == "float64" or b.kind == "float64":
+            self.emit("RL015", node,
+                      f"float64 arithmetic ({sym}) in {self.where()} "
+                      f"is outside the exact int lattice; only the "
+                      f"declared frexp exponent read is modeled")
+            return AVal("float64")
+        if a.kind == b.kind == "bool" and opcls in (ast.BitAnd,
+                                                    ast.BitOr):
+            if opcls is ast.BitAnd:
+                return num("bool", 0, 1, tcons=a.tcons + b.tcons)
+            return num("bool", 0, 1, fcons=a.fcons + b.fcons)
+        if not (a.is_num and b.is_num):
+            return UNKNOWN
+        kind = _join_kind(a.kind, b.kind)
+        if kind is None:
+            self.emit("RL013", node,
+                      f"mixed uint64/int64 operands for {sym!r} in "
+                      f"{self.where()}: promotion is ambiguous; cast "
+                      f"one side explicitly")
+            return UNKNOWN
+        if kind == "bool":
+            kind = "pyint"
+        if a.is_empty or b.is_empty:
+            return bot(kind)
+        acc_exempt = "acc" in (a.role, b.role) and opcls in (
+            ast.Add, ast.Sub)
+        if opcls is ast.Add:
+            lo, hi = a.lo + b.lo, a.hi + b.hi
+        elif opcls is ast.Sub:
+            lo, hi = a.lo - b.hi, a.hi - b.lo
+        elif opcls is ast.Mult:
+            lo, hi = _mult_bounds(a, b)
+        elif opcls is ast.FloorDiv:
+            return self._floordiv(node, kind, a, b)
+        elif opcls is ast.Mod:
+            return self._mod(node, kind, a, b)
+        elif opcls is ast.LShift:
+            if b.lo < 0:
+                self.emit("RL013", node,
+                          f"shift amount {b.iv()} may be negative in "
+                          f"{self.where()}")
+            slo, shi = _shift_amount(b)
+            cands = [a.lo << slo, a.lo << shi, a.hi << slo,
+                     a.hi << shi]
+            lo, hi = min(cands), max(cands)
+        elif opcls is ast.RShift:
+            if b.lo < 0:
+                self.emit("RL013", node,
+                          f"shift amount {b.iv()} may be negative in "
+                          f"{self.where()}")
+            slo, shi = _shift_amount(b)
+            lo = min(a.lo >> slo, a.lo >> shi)
+            hi = max(a.hi >> slo, a.hi >> shi)
+        elif opcls is ast.BitAnd:
+            if b.lo >= 0:
+                lo, hi = 0, min(a.hi, b.hi) if a.lo >= 0 else b.hi
+            elif a.lo >= 0:
+                lo, hi = 0, a.hi
+            else:
+                lo, hi = kind_bounds(kind)
+        elif opcls in (ast.BitOr, ast.BitXor):
+            if a.lo >= 0 and b.lo >= 0:
+                width = max(_bitlen(a.hi), _bitlen(b.hi))
+                lo = max(a.lo, b.lo) if opcls is ast.BitOr else 0
+                hi = (1 << width) - 1
+            else:
+                lo, hi = kind_bounds(kind)
+        elif opcls is ast.Div:
+            self.emit("RL015", node,
+                      f"true division (/) in {self.where()} produces "
+                      f"float64; the hot path is exact integer "
+                      f"arithmetic (use // or a declared escape)")
+            return AVal("float64")
+        elif opcls is ast.Pow:
+            if a.lo >= 0 and b.lo >= 0:
+                lo = a.lo ** min(b.lo, 256)
+                hi = a.hi ** min(b.hi, 256)
+            else:
+                lo, hi = kind_bounds(kind)
+        else:
+            return UNKNOWN
+        role = "acc" if acc_exempt else "value"
+        if kind != "pyint" and not acc_exempt:
+            klo, khi = kind_bounds(kind)
+            if lo < klo or hi > khi:
+                return self._overflow(node, sym, kind, lo, hi)
+        return num(kind, lo, hi, role=role)
+
+    def _overflow(self, node: ast.AST, sym: str, kind: str,
+                  lo: int, hi: int) -> AVal:
+        klo, khi = kind_bounds(kind)
+        if kind == "uint64" and "wrap" in self.escapes:
+            self.used.add("wrap")
+            esc = self.escapes["wrap"]
+            if esc.result is not None:
+                return aval_from_spec(esc.result)
+            return num("uint64", 0, U64_MAX)
+        self.emit("RL013", node,
+                  f"{kind} {sym!r} in {self.where()} derives "
+                  f"[{lo}, {hi}], which exceeds {kind} "
+                  f"[{klo}, {khi}]; narrow the operands (limb split) "
+                  f"or declare a contract escape")
+        return num(kind, klo, khi)
+
+    def _floordiv(self, node: ast.AST, kind: str, a: AVal,
+                  b: AVal) -> AVal:
+        if b.lo <= 0 <= b.hi and not b.nonzero:
+            self.emit("RL013", node,
+                      f"floor division in {self.where()} by divisor "
+                      f"{b.iv()} which may be zero")
+            return num(kind, *kind_bounds(kind))
+        if kind == "int64" and a.lo <= I64_MIN and b.lo <= -1 <= b.hi:
+            if "divide" in self.escapes:
+                self.used.add("divide")
+                esc = self.escapes["divide"]
+                if esc.result is not None:
+                    return aval_from_spec(esc.result)
+                return num("int64", I64_MIN, I64_MAX)
+            self.emit("RL013", node,
+                      f"floor division in {self.where()}: dividend "
+                      f"{a.iv()} and divisor {b.iv()} admit the "
+                      f"INT64_MIN // -1 overflow corner; exclude it "
+                      f"or declare a 'divide' escape")
+            return num(kind, *kind_bounds(kind))
+        lo, hi = _floordiv_bounds(a, b)
+        if kind != "pyint":
+            klo, khi = kind_bounds(kind)
+            lo, hi = max(lo, klo), min(hi, khi)
+        return num(kind, lo, hi)
+
+    def _mod(self, node: ast.AST, kind: str, a: AVal,
+             b: AVal) -> AVal:
+        if b.lo <= 0 <= b.hi and not b.nonzero:
+            self.emit("RL013", node,
+                      f"modulo in {self.where()} by divisor {b.iv()} "
+                      f"which may be zero")
+            return num(kind, *kind_bounds(kind))
+        lo, hi = _mod_bounds(b)
+        if a.lo >= 0 and b.lo > 0 and a.hi < b.lo:
+            lo, hi = a.lo, a.hi  # dividend already reduced
+        return num(kind, lo, hi)
+
+    # -- calls ---------------------------------------------------------
+    def _call(self, node: ast.Call, env: Env) -> AVal:
+        func = node.func
+        dotted = _dotted(func)
+        if dotted and dotted.split(".")[0] in ("np", "numpy"):
+            tail = dotted.split(".", 1)[1]
+            return self._np_call(node, tail, env)
+        if isinstance(func, ast.Name):
+            return self._plain_call(node, func.id, env)
+        if isinstance(func, ast.Subscript):
+            base = self.eval(func.value, env)
+            if base.kind == "cores" \
+                    and isinstance(func.slice, ast.Constant):
+                target = self.mod.cores.get(str(func.slice.value))
+                if target:
+                    args = [self.eval(a, env) for a in node.args]
+                    return self._local_call(node, target, args)
+            return UNKNOWN
+        if isinstance(func, ast.Attribute):
+            return self._method_call(node, func, env)
+        return UNKNOWN
+
+    def _plain_call(self, node: ast.Call, name: str,
+                    env: Env) -> AVal:
+        if name == "int":
+            v = self.eval(node.args[0], env) if node.args else UNKNOWN
+            if v.is_num:
+                return num("pyint", v.lo, v.hi, nonzero=v.nonzero)
+            return UNKNOWN
+        if name == "range":
+            return self._range(node, env)
+        if name == "len":
+            if node.args:
+                self.eval(node.args[0], env)
+            return num("pyint", 0, INF)
+        if name in self.mod.func_contracts:
+            return self._contract_call(node, name, env)
+        if name in self.mod.skip_funcs:
+            for a in node.args:
+                self.eval(a, env)
+            return UNKNOWN
+        if name in self.mod.functions:
+            args = [self.eval(a, env) for a in node.args]
+            return self._local_call(node, name, args)
+        self.emit("RL013", node,
+                  f"call to {name!r} in {self.where()} cannot be "
+                  f"resolved to a module function, sibling kernel, or "
+                  f"modeled builtin; its result interval is unknown")
+        return UNKNOWN
+
+    def _range(self, node: ast.Call, env: Env) -> AVal:
+        args = [self.eval(a, env) for a in node.args]
+        if not args or not all(a.is_num for a in args):
+            return AVal("range", 0, INF)
+        if len(args) == 1:
+            return AVal("range", 0, max(args[0].hi - 1, 0))
+        start, stop = args[0], args[1]
+        step_neg = False
+        if len(args) > 2:
+            step = args[2]
+            step_neg = step.hi < 0
+        if step_neg:
+            return AVal("range", stop.lo + 1, max(start.hi,
+                                                  stop.lo + 1))
+        return AVal("range", start.lo, max(stop.hi - 1, start.lo))
+
+    def _contract_call(self, node: ast.Call, name: str,
+                       env: Env) -> AVal:
+        contract = self.mod.func_contracts[name]
+        funcdef = self.mod.functions[name]
+        params = [a.arg for a in funcdef.args.args]
+        supplied: Dict[str, AVal] = {}
+        for param, argnode in zip(params, node.args):
+            supplied[param] = self.eval(argnode, env)
+        for kw in node.keywords:
+            if kw.arg:
+                supplied[kw.arg] = self.eval(kw.value, env)
+        for param, val in supplied.items():
+            spec = contract.args.get(param)
+            if spec is None:
+                continue
+            slo, shi = spec.bounds()
+            if slo is None:
+                continue
+            if val.kind == "unknown":
+                self.emit("RL014", node,
+                          f"argument {param!r} of sibling kernel "
+                          f"{name!r} called from {self.where()} has "
+                          f"an unknown interval; declared "
+                          f"{spec.describe()}")
+            elif val.is_num and not val.is_empty \
+                    and (val.lo < slo or val.hi > shi):
+                self.emit("RL014", node,
+                          f"argument {param!r} of sibling kernel "
+                          f"{name!r} called from {self.where()} "
+                          f"derives {val.iv()}, outside the declared "
+                          f"{spec.describe()}")
+        if contract.returns is None:
+            return NONE
+        return aval_from_spec(contract.returns)
+
+    def _local_call(self, node: ast.AST, name: str,
+                    args: List[AVal]) -> AVal:
+        if name in self.callstack or len(self.callstack) > 12:
+            return UNKNOWN
+        funcdef = self.mod.functions.get(name)
+        if funcdef is None:
+            return UNKNOWN
+        key = (name, tuple((a.kind, a.lo, a.hi, a.role, a.total,
+                            a.nonzero) for a in args))
+        if key in self.memo:
+            return self.memo[key]
+        params = [a.arg for a in funcdef.args.args]
+        callee_env: Env = {}
+        for param, val in zip(params, args):
+            callee_env[param] = replace(val, tcons=(), fcons=()) \
+                if val.is_num else val
+        for param in params[len(args):]:
+            callee_env[param] = UNKNOWN
+        saved = (self.returns, self.loops)
+        self.returns, self.loops = [], []
+        self.callstack.append(name)
+        try:
+            fell = self.exec_block(funcdef.body, callee_env)
+            rets = [r for r in self.returns if r.kind != "none"]
+            if rets:
+                out = rets[0]
+                for r in rets[1:]:
+                    out = join(out, r)
+            else:
+                out = NONE
+        finally:
+            self.callstack.pop()
+            self.returns, self.loops = saved
+        del fell
+        self.memo[key] = out
+        return out
+
+    # -- numpy model ---------------------------------------------------
+    def _dtype_kind(self, node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return None
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover - defensive
+            return None
+        if "uint64" in text:
+            return "uint64"
+        if "int64" in text:
+            return "int64"
+        if "float" in text:
+            return "float64"
+        if "bool" in text:
+            return "bool"
+        return None
+
+    def _kw(self, node: ast.Call, name: str) -> Optional[ast.AST]:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _cast(self, node: ast.AST, val: AVal, target: str) -> AVal:
+        if target == "float64":
+            if "float64" in self.escapes:
+                self.used.add("float64")
+                esc = self.escapes["float64"]
+                fb = None
+                if esc.result is not None:
+                    fb = esc.result.bounds()
+                return AVal("float64", fb=fb)
+            self.emit("RL015", node,
+                      f"conversion to float64 in {self.where()} "
+                      f"leaves the exact int lattice with no declared "
+                      f"'float64' contract escape")
+            return AVal("float64")
+        if val.kind == "unknown" or target is None:
+            return UNKNOWN
+        if val.kind == "float64":
+            self.emit("RL015", node,
+                      f"float64 value cast back to {target} in "
+                      f"{self.where()} without going through the "
+                      f"modeled frexp exponent read")
+            return num(target, *kind_bounds(target))
+        if not val.is_num:
+            return UNKNOWN
+        if val.is_empty:
+            return bot(target)
+        klo, khi = kind_bounds(target)
+        if val.lo < klo or val.hi > khi:
+            self.emit("RL013", node,
+                      f"cast to {target} in {self.where()}: source "
+                      f"interval {val.iv()} does not fit {target} "
+                      f"[{klo}, {khi}] (values would wrap)")
+            return num(target, klo, khi)
+        return num(target, val.lo, val.hi, role=val.role,
+                   total=val.total, nonzero=val.nonzero)
+
+    def _reduction(self, node: ast.AST, val: AVal,
+                   what: str) -> AVal:
+        if val.kind == "unknown":
+            return UNKNOWN
+        if val.role == "acc":
+            return replace(val, tcons=(), fcons=())
+        if val.is_num and val.total is not None and val.lo >= 0:
+            return num(val.kind if val.kind != "bool" else "int64",
+                       0, val.total)
+        if val.kind == "bool":
+            return num("int64", 0, I64_MAX)
+        if val.is_num and val.is_empty:
+            return val
+        self.emit("RL013", node,
+                  f"{what} in {self.where()} over values "
+                  f"{val.iv() if val.is_num else val.kind} with no "
+                  f"role='acc' exemption or total= bound: the sum is "
+                  f"unbounded in the interval lattice")
+        if val.is_num:
+            return num(val.kind, *kind_bounds(val.kind))
+        return UNKNOWN
+
+    def _np_call(self, node: ast.Call, tail: str, env: Env) -> AVal:
+        if tail == "where" and len(node.args) == 3:
+            cond = self.eval(node.args[0], env)
+            t = self.eval(node.args[1], _refine(env, cond.tcons))
+            f = self.eval(node.args[2], _refine(env, cond.fcons))
+            return join(t, f)
+        if tail in ("asarray", "ascontiguousarray"):
+            val = self.eval(node.args[0], env)
+            kind = self._dtype_kind(self._kw(node, "dtype"))
+            if kind is None and len(node.args) > 1:
+                kind = self._dtype_kind(node.args[1])
+            if kind is None or (val.is_num and val.kind == kind):
+                return val
+            return self._cast(node, val, kind)
+        if tail in ("uint64", "int64"):
+            val = self.eval(node.args[0], env) if node.args \
+                else num("pyint", 0, 0)
+            return self._cast(node, val, tail)
+        if tail in ("float64", "float32", "float16"):
+            val = self.eval(node.args[0], env) if node.args else NONE
+            del val
+            return self._cast(node, AVal("pyint"), "float64")
+        if tail == "zeros":
+            kind = self._dtype_kind(self._kw(node, "dtype"))
+            if kind is None and len(node.args) > 1:
+                kind = self._dtype_kind(node.args[1])
+            if kind == "float64" or kind is None:
+                return self._cast(node, num("pyint", 0, 0), "float64")
+            return num(kind, 0, 0)
+        if tail == "ones":
+            kind = self._dtype_kind(self._kw(node, "dtype"))
+            if kind is None and len(node.args) > 1:
+                kind = self._dtype_kind(node.args[1])
+            if kind == "float64" or kind is None:
+                return self._cast(node, num("pyint", 1, 1), "float64")
+            return num(kind, 1, 1)
+        if tail == "full":
+            kind = self._dtype_kind(self._kw(node, "dtype"))
+            if kind is None and len(node.args) > 2:
+                kind = self._dtype_kind(node.args[2])
+            fill = self.eval(node.args[1], env) \
+                if len(node.args) > 1 else UNKNOWN
+            if kind is None:
+                kind = fill.kind if fill.is_num else None
+            if kind == "float64" or kind is None:
+                return self._cast(node, fill, "float64")
+            return self._cast(node, fill, kind)
+        if tail == "empty":
+            kind = self._dtype_kind(self._kw(node, "dtype"))
+            if kind is None and len(node.args) > 1:
+                kind = self._dtype_kind(node.args[1])
+            if kind == "float64" or kind is None:
+                return self._cast(node, num("pyint", 0, 0), "float64")
+            return bot(kind)
+        if tail == "arange":
+            n = self.eval(node.args[0], env) if node.args else UNKNOWN
+            hi = min(n.hi - 1, I64_MAX) if n.is_num else I64_MAX
+            return num("int64", 0, max(hi, 0))
+        if tail in ("minimum", "maximum") and len(node.args) == 2:
+            a = self.eval(node.args[0], env)
+            b = self.eval(node.args[1], env)
+            if not (a.is_num and b.is_num):
+                return UNKNOWN
+            kind = _join_kind(a.kind, b.kind) or "pyint"
+            if tail == "minimum":
+                return num(kind, min(a.lo, b.lo), min(a.hi, b.hi))
+            return num(kind, max(a.lo, b.lo), max(a.hi, b.hi))
+        if tail == "cumsum":
+            val = self.eval(node.args[0], env)
+            out = self._reduction(node, val, "np.cumsum")
+            out_kw = self._kw(node, "out")
+            if out_kw is not None:
+                root = _root_name(out_kw)
+                if root and root in env:
+                    env[root] = join(env[root], out)
+            return out
+        if tail == "add.at":
+            if len(node.args) == 3:
+                target = self.eval(node.args[0], env)
+                self.eval(node.args[1], env)
+                vals = self.eval(node.args[2], env)
+                if target.role != "acc" and vals.role != "acc":
+                    self.emit("RL013", node,
+                              f"np.add.at scatter-accumulate in "
+                              f"{self.where()} into a non-acc array "
+                              f"(values {vals.iv() if vals.is_num else vals.kind}): "
+                              f"repeated targets make the cell sum "
+                              f"unbounded; declare the buffer "
+                              f"i64_acc()")
+            return NONE
+        if tail == "add.reduceat":
+            val = self.eval(node.args[0], env)
+            if len(node.args) > 1:
+                self.eval(node.args[1], env)
+            return self._reduction(node, val, "np.add.reduceat")
+        if tail == "repeat":
+            val = self.eval(node.args[0], env)
+            if len(node.args) > 1:
+                self.eval(node.args[1], env)
+            if val.is_num:
+                return replace(val, total=None, tcons=(), fcons=())
+            return val
+        if tail == "stack":
+            if node.args and isinstance(node.args[0],
+                                        (ast.List, ast.Tuple)):
+                vals = [self.eval(e, env)
+                        for e in node.args[0].elts]
+                out = vals[0] if vals else UNKNOWN
+                for v in vals[1:]:
+                    out = join(out, v)
+                return out
+            val = self.eval(node.args[0], env) if node.args \
+                else UNKNOWN
+            if val.kind == "tuple" and val.elems:
+                out = val.elems[0]
+                for v in val.elems[1:]:
+                    out = join(out, v)
+                return out
+            return val
+        if tail == "broadcast_to":
+            return self.eval(node.args[0], env)
+        if tail == "broadcast_arrays":
+            return AVal("tuple", elems=tuple(
+                self.eval(a, env) for a in node.args))
+        if tail == "argmax":
+            self.eval(node.args[0], env)
+            return num("int64", 0, I64_MAX)
+        if tail in ("any", "all"):
+            self.eval(node.args[0], env)
+            return num("bool", 0, 1)
+        if tail == "frexp":
+            val = self.eval(node.args[0], env)
+            if val.kind != "float64":
+                self.emit("RL015", node,
+                          f"np.frexp in {self.where()} on a "
+                          f"non-float64 value is unmodeled")
+                return AVal("tuple", elems=(UNKNOWN, UNKNOWN))
+            if val.fb is not None:
+                exp = num("int64", val.fb[0], val.fb[1])
+            else:
+                exp = num("int64", -1074, 1024)
+            return AVal("tuple", elems=(AVal("float64"), exp))
+        if tail == "bool_":
+            val = self.eval(node.args[0], env) if node.args \
+                else num("pyint", 0, 0)
+            return self._cast(node, val, "bool")
+        self.emit("RL015", node,
+                  f"unmodeled numpy operation np.{tail} in "
+                  f"{self.where()}: the numeric analyzer cannot bound "
+                  f"its result (extend the model or restructure)")
+        for a in node.args:
+            self.eval(a, env)
+        return UNKNOWN
+
+    _ID_METHODS = frozenset({"ravel", "reshape", "copy",
+                             "squeeze", "flatten"})
+
+    def _method_call(self, node: ast.Call, func: ast.Attribute,
+                     env: Env) -> AVal:
+        name = func.attr
+        obj = self.eval(func.value, env)
+        if name == "astype":
+            kind = self._dtype_kind(node.args[0]) if node.args \
+                else None
+            return self._cast(node, obj, kind)
+        if name in self._ID_METHODS:
+            return replace(obj, tcons=(), fcons=()) if obj.is_num \
+                else obj
+        if name in ("any", "all"):
+            return num("bool", 0, 1)
+        if name == "sum":
+            return self._reduction(node, obj, f".{name}()")
+        if name == "update":
+            return NONE
+        if name == "item":
+            if obj.is_num:
+                return num("pyint", obj.lo, obj.hi,
+                           nonzero=obj.nonzero)
+            return UNKNOWN
+        if obj.is_num:
+            self.emit("RL015", node,
+                      f"unmodeled array method .{name}() in "
+                      f"{self.where()}")
+        return UNKNOWN
+
+    # -- subscripts ----------------------------------------------------
+    def _subscript_load(self, node: ast.Subscript, env: Env) -> AVal:
+        base = self.eval(node.value, env)
+        idx = node.slice
+        # Boolean-mask refinement: x[mask] keeps only elements where
+        # the mask holds, so the mask's refinements on x apply.
+        if isinstance(idx, ast.Name) and isinstance(node.value,
+                                                    ast.Name):
+            mask = env.get(idx.id)
+            if mask is not None and mask.kind == "bool" and mask.tcons:
+                refined = _refine({node.value.id: base}, mask.tcons)
+                return refined[node.value.id]
+        if isinstance(idx, ast.Name) or isinstance(idx, (ast.Tuple,
+                                                         ast.Slice)):
+            for sub in ast.walk(idx):
+                if isinstance(sub, (ast.Name, ast.Call, ast.BinOp,
+                                    ast.Subscript)) and sub is not idx:
+                    self.eval(sub, env)
+        if base.kind == "tuple" and base.elems:
+            if isinstance(idx, ast.Constant) \
+                    and isinstance(idx.value, int):
+                try:
+                    return base.elems[idx.value]
+                except IndexError:
+                    return UNKNOWN
+            out = base.elems[0]
+            for v in base.elems[1:]:
+                out = join(out, v)
+            return out
+        if base.kind == "shape":
+            if isinstance(idx, ast.Slice):
+                return AVal("shape")
+            return num("pyint", 0, INF)
+        if base.is_num:
+            if isinstance(idx, ast.Constant) or isinstance(
+                    idx, (ast.Slice, ast.Tuple, ast.Name)) \
+                    or isinstance(idx, (ast.BinOp, ast.Subscript,
+                                        ast.UnaryOp, ast.Call)):
+                if isinstance(idx, (ast.BinOp, ast.Subscript,
+                                    ast.Call, ast.UnaryOp)):
+                    self.eval(idx, env)
+                return replace(base, tcons=(), fcons=())
+        return UNKNOWN if not base.is_num \
+            else replace(base, tcons=(), fcons=())
+
+    def _subscript_store(self, target: ast.Subscript, value: AVal,
+                         env: Env, node: ast.AST,
+                         augadd: bool = False) -> None:
+        root = _root_name(target)
+        self.eval(target.value, env) if not isinstance(
+            target.value, ast.Name) else None
+        if isinstance(target.slice, (ast.BinOp, ast.Subscript,
+                                     ast.Call, ast.Name, ast.Tuple)):
+            self.eval(target.slice, env)
+        if root is None or root not in env:
+            return
+        base = env[root]
+        if not base.is_num:
+            return
+        if augadd and (base.role == "acc" or value.role == "acc"):
+            env[root] = replace(base, role="acc", tcons=(), fcons=())
+            return
+        if augadd:
+            value = self.arith(node, ast.Add,
+                               replace(base, tcons=(), fcons=()),
+                               value)
+        if value.kind == "unknown":
+            env[root] = UNKNOWN
+            return
+        if not value.is_num:
+            return
+        klo, khi = kind_bounds(base.kind)
+        if not value.is_empty and (value.lo < klo or value.hi > khi):
+            self.emit("RL013", node,
+                      f"store into {base.kind} array {root!r} in "
+                      f"{self.where()}: value {value.iv()} does not "
+                      f"fit {base.kind} [{klo}, {khi}]")
+            value = num(base.kind, klo, khi)
+        coerced = num(base.kind, value.lo, value.hi, role=value.role,
+                      nonzero=value.nonzero) if not value.is_empty \
+            else bot(base.kind)
+        env[root] = join(base, coerced)
+
+    # -- statements ----------------------------------------------------
+    def exec_block(self, stmts: Sequence[ast.stmt],
+                   env: Env) -> Optional[Env]:
+        """Run ``stmts``; None means all paths left the block."""
+        cur: Optional[Env] = env
+        for stmt in stmts:
+            if cur is None:
+                break
+            cur = self.exec_stmt(stmt, cur)
+        return cur
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> Optional[Env]:
+        self.tick()
+        if isinstance(stmt, ast.Return):
+            val = self.eval(stmt.value, env) if stmt.value else NONE
+            self.returns.append(val)
+            return None
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env, stmt)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                self._bind(stmt.target, value, env, stmt)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                cur = env.get(stmt.target.id, UNKNOWN)
+                rhs = self.eval(stmt.value, env)
+                env[stmt.target.id] = self.arith(
+                    stmt, type(stmt.op),
+                    replace(cur, tcons=(), fcons=())
+                    if cur.is_num else cur, rhs)
+            elif isinstance(stmt.target, ast.Subscript):
+                rhs = self.eval(stmt.value, env)
+                if isinstance(stmt.op, ast.Add):
+                    self._subscript_store(stmt.target, rhs, env, stmt,
+                                          augadd=True)
+                else:
+                    self._subscript_store(stmt.target, UNKNOWN, env,
+                                          stmt)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.If):
+            cond = self.eval(stmt.test, env)
+            tenv = _refine(env, cond.tcons)
+            fenv = _refine(env, cond.fcons)
+            tout = self.exec_block(stmt.body, dict(tenv))
+            fout = self.exec_block(stmt.orelse, dict(fenv)) \
+                if stmt.orelse else dict(fenv)
+            alive = [e for e in (tout, fout) if e is not None]
+            if not alive:
+                return None
+            return join_envs(alive)
+        if isinstance(stmt, (ast.While, ast.For)):
+            return self._exec_loop(stmt, env)
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.loops[-1].continues.append(dict(env))
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1].breaks.append(dict(env))
+            return None
+        if isinstance(stmt, (ast.Pass, ast.Import, ast.ImportFrom,
+                             ast.Global, ast.Nonlocal,
+                             ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return env
+        if isinstance(stmt, ast.Raise):
+            return None
+        if isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+            cond = self.eval(stmt.test, env)
+            return _refine(env, cond.tcons)
+        if isinstance(stmt, ast.Try):
+            out = self.exec_block(stmt.body, env)
+            return out if out is not None else env
+        if isinstance(stmt, ast.With):
+            return self.exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Delete):
+            return env
+        return env
+
+    def _bind(self, target: ast.AST, value: AVal, env: Env,
+              stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Tuple):
+            if value.kind == "tuple" and value.elems \
+                    and len(value.elems) == len(target.elts):
+                for sub, v in zip(target.elts, value.elems):
+                    self._bind(sub, v, env, stmt)
+            else:
+                elem = replace(value, tcons=(), fcons=()) \
+                    if value.is_num else value
+                for sub in target.elts:
+                    self._bind(sub, elem, env, stmt)
+        elif isinstance(target, ast.Subscript):
+            self._subscript_store(target, value, env, stmt)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, UNKNOWN, env, stmt)
+
+    def _exec_loop(self, stmt, env: Env) -> Env:
+        is_while = isinstance(stmt, ast.While)
+        init = dict(env)
+        head = dict(env)
+        pinned: Env = {}
+        all_breaks: List[Env] = []
+        last_cond = None
+        for it in range(8):
+            rec = LoopRec()
+            self.loops.append(rec)
+            benv = dict(head)
+            if is_while:
+                last_cond = self.eval(stmt.test, benv)
+                benv = _refine(benv, last_cond.tcons)
+            else:
+                iterv = self.eval(stmt.iter, benv)
+                self._bind(stmt.target, self._element_of(iterv), benv,
+                           stmt)
+            try:
+                out = self.exec_block(stmt.body, benv)
+            finally:
+                self.loops.pop()
+            all_breaks.extend(rec.breaks)
+            candidates = [head]
+            if out is not None:
+                candidates.append(out)
+            candidates.extend(rec.continues)
+            nxt = join_envs(candidates)
+            for name, v in pinned.items():
+                nxt[name] = v
+            if nxt == head:
+                break
+            if it >= 3:
+                for name in set(nxt):
+                    old = head.get(name)
+                    new = nxt.get(name)
+                    if old == new or new is None:
+                        continue
+                    widened, pin = self._widen(name, init.get(name),
+                                               old, new, stmt, head)
+                    nxt[name] = widened
+                    if pin:
+                        pinned[name] = widened
+            head = nxt
+        after_candidates = []
+        if is_while and last_cond is not None:
+            after_candidates.append(_refine(head, last_cond.fcons))
+        else:
+            after_candidates.append(head)
+        after_candidates.extend(all_breaks)
+        return join_envs(after_candidates)
+
+    def _element_of(self, iterv: AVal) -> AVal:
+        if iterv.kind == "range":
+            return num("pyint", iterv.lo, iterv.hi)
+        if iterv.kind == "tuple" and iterv.elems:
+            out = iterv.elems[0]
+            for v in iterv.elems[1:]:
+                out = join(out, v)
+            return out
+        if iterv.is_num:
+            return replace(iterv, tcons=(), fcons=())
+        return UNKNOWN
+
+    def _widen(self, name: str, initval: Optional[AVal],
+               old: Optional[AVal], new: AVal, loopstmt,
+               head: Env) -> Tuple[AVal, bool]:
+        """Widen one unstable loop variable.
+
+        An int accumulator whose only in-loop growth is ``name += u``
+        with ``u`` drawn from a ``total=``-bounded array is pinned at
+        ``init + total`` (the contract's externally-argued segment-sum
+        invariant); everything else widens the moving bound to its
+        dtype range (pyint counters widen to +/-inf, which carries no
+        representability obligation).
+        """
+        if not new.is_num:
+            return new, False
+        if initval is not None and initval.is_num \
+                and not initval.is_empty:
+            for sub in ast.walk(loopstmt):
+                if isinstance(sub, ast.AugAssign) \
+                        and isinstance(sub.op, ast.Add) \
+                        and isinstance(sub.target, ast.Name) \
+                        and sub.target.id == name:
+                    self.quiet += 1
+                    try:
+                        u = self.eval(sub.value, head)
+                    finally:
+                        self.quiet -= 1
+                    if u.is_num and u.total is not None and u.lo >= 0:
+                        return num(new.kind,
+                                   min(initval.lo, new.lo),
+                                   initval.hi + u.total,
+                                   role=new.role), True
+        klo, khi = kind_bounds(new.kind)
+        lo = new.lo if old is not None and old.is_num \
+            and new.lo == old.lo else klo
+        hi = new.hi if old is not None and old.is_num \
+            and new.hi == old.hi else khi
+        return num(new.kind, lo, hi, role=new.role), False
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The variable a store target ultimately writes through."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Kernel + program analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KernelResult:
+    kernel: str
+    tier: str
+    path: str
+    line: int
+    status: str                 # proved | violated | contract-error
+    declared_return: str
+    derived_return: str
+    args: Dict[str, str]
+    escapes_declared: List[str]
+    escapes_used: List[str]
+    finding_count: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kernel": self.kernel, "tier": self.tier,
+            "path": self.path, "line": self.line,
+            "status": self.status,
+            "declared_return": self.declared_return,
+            "derived_return": self.derived_return,
+            "args": dict(self.args),
+            "escapes_declared": list(self.escapes_declared),
+            "escapes_used": list(self.escapes_used),
+            "findings": self.finding_count,
+        }
+
+
+@dataclass
+class Analysis:
+    findings: List[Finding] = field(default_factory=list)
+    results: List[KernelResult] = field(default_factory=list)
+
+    def findings_for(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def verdicts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for res in self.results:
+            out[res.status] = out.get(res.status, 0) + 1
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        from repro.lint import RULE_PACK_VERSION
+
+        kernels: Dict[str, Dict[str, object]] = {}
+        for res in sorted(self.results,
+                          key=lambda r: (r.kernel, r.tier)):
+            kernels.setdefault(res.kernel, {})[res.tier] = \
+                res.to_json()
+        return {
+            "rule_pack": RULE_PACK_VERSION,
+            "kernels": kernels,
+            "verdicts": self.verdicts(),
+            "findings": [f.render() for f in sorted(
+                self.findings,
+                key=lambda f: (f.path, f.line, f.rule))],
+        }
+
+
+def _describe_aval(v: AVal) -> str:
+    if v.kind == "none":
+        return "None"
+    if not v.is_num:
+        return v.kind
+    if v.is_empty:
+        return f"{v.kind}[] (never produced)"
+    tag = f" {v.role}" if v.role != "value" else ""
+    return f"{v.kind}{v.iv()}{tag}"
+
+
+def analyze_kernel(mod: ModuleInfo, reg: Registration,
+                   analysis: Analysis) -> None:
+    func = reg.func
+    contract = reg.contract
+    ctx = mod.ctx
+    if reg.contract_error is not None:
+        analysis.findings.append(ctx.finding(
+            "RL016", reg.contract_node or func,
+            f"contract on kernel {reg.kernel!r} ({reg.tier} tier) is "
+            f"not statically evaluable: {reg.contract_error}"))
+        analysis.results.append(KernelResult(
+            kernel=reg.kernel, tier=reg.tier, path=ctx.path,
+            line=func.lineno, status="contract-error",
+            declared_return="?", derived_return="?", args={},
+            escapes_declared=[], escapes_used=[], finding_count=1))
+        return
+    params = [a.arg for a in func.args.args]
+    if set(params) != set(contract.args):
+        analysis.findings.append(ctx.finding(
+            "RL016", reg.contract_node or func,
+            f"contract on kernel {reg.kernel!r} ({reg.tier} tier) "
+            f"declares args {sorted(contract.args)} but the function "
+            f"signature is ({', '.join(params)}); the contract must "
+            f"cover the parameters exactly"))
+        analysis.results.append(KernelResult(
+            kernel=reg.kernel, tier=reg.tier, path=ctx.path,
+            line=func.lineno, status="contract-error",
+            declared_return="?", derived_return="?", args={},
+            escapes_declared=[], escapes_used=[], finding_count=1))
+        return
+    fr = Frame(mod, reg.kernel, reg.tier, contract)
+    env: Env = {name: aval_from_spec(contract.args[name])
+                for name in params}
+    derived = "?"
+    try:
+        fell = fr.exec_block(func.body, env)
+        declared = contract.returns
+        rets = fr.returns
+        vals = [r for r in rets if r.kind != "none"]
+        may_none = (fell is not None) or any(
+            r.kind == "none" for r in rets)
+        if declared is None:
+            derived = "None"
+            for r in vals:
+                fr.emit("RL014", func,
+                        f"{fr.where()} returns "
+                        f"{_describe_aval(r)} but its contract "
+                        f"declares returns=None")
+        else:
+            dlo, dhi = declared.bounds()
+            if vals:
+                out = vals[0]
+                for r in vals[1:]:
+                    out = join(out, r)
+            else:
+                out = NONE
+            derived = _describe_aval(out)
+            if may_none:
+                fr.emit("RL014", func,
+                        f"{fr.where()} may fall through or return "
+                        f"None, but its contract declares "
+                        f"{declared.describe()}")
+            if out.kind == "unknown":
+                fr.emit("RL014", func,
+                        f"{fr.where()} return interval is unknown "
+                        f"(an unmodeled op or unresolved name "
+                        f"upstream), so the declared "
+                        f"{declared.describe()} cannot be proved")
+            elif out.kind == "none":
+                pass  # already reported via may_none
+            elif not out.is_num:
+                fr.emit("RL014", func,
+                        f"{fr.where()} returns {_describe_aval(out)} "
+                        f"where the contract declares "
+                        f"{declared.describe()}")
+            elif not out.is_empty:
+                kind_ok = (out.kind == declared.dtype
+                           or out.kind == "pyint")
+                if not kind_ok:
+                    fr.emit("RL014", func,
+                            f"{fr.where()} returns dtype {out.kind} "
+                            f"where the contract declares "
+                            f"{declared.describe()}")
+                elif dlo is not None and (out.lo < dlo
+                                          or out.hi > dhi):
+                    fr.emit("RL014", func,
+                            f"{fr.where()} returns {out.kind}"
+                            f"{out.iv()}, which is not contained in "
+                            f"the declared {declared.describe()}")
+    except _Budget:
+        fr.emit("RL013", func,
+                f"analysis budget exceeded in {fr.where()}: the "
+                f"kernel's loop structure did not converge; simplify "
+                f"or split the kernel")
+    except RecursionError:  # pragma: no cover - defensive
+        fr.emit("RL013", func,
+                f"analysis recursion limit hit in {fr.where()}")
+    analysis.findings.extend(fr.findings)
+    analysis.results.append(KernelResult(
+        kernel=reg.kernel, tier=reg.tier, path=ctx.path,
+        line=func.lineno,
+        status="proved" if not fr.findings else "violated",
+        declared_return=(contract.returns.describe()
+                         if contract.returns else "None"),
+        derived_return=derived,
+        args={n: s.describe() for n, s in sorted(
+            contract.args.items())},
+        escapes_declared=sorted(e.kind for e in contract.escapes),
+        escapes_used=sorted(fr.used), finding_count=len(fr.findings)))
+
+
+def _diff_contracts(a, b) -> str:
+    """A one-line description of how two contracts disagree."""
+    if set(a.args) != set(b.args):
+        return (f"argument sets differ "
+                f"({sorted(a.args)} vs {sorted(b.args)})")
+    for name in sorted(a.args):
+        if a.args[name] != b.args[name]:
+            return (f"args[{name!r}] differs "
+                    f"({a.args[name].describe()} vs "
+                    f"{b.args[name].describe()})")
+    if a.returns != b.returns:
+        return (f"returns differs "
+                f"({a.returns.describe() if a.returns else None} vs "
+                f"{b.returns.describe() if b.returns else None})")
+    if a.shape != b.shape:
+        return f"shape differs ({a.shape!r} vs {b.shape!r})"
+    if a.mutates != b.mutates:
+        return f"mutates differs ({a.mutates!r} vs {b.mutates!r})"
+    if a.escapes != b.escapes:
+        return (f"escapes differ "
+                f"({sorted(e.kind for e in a.escapes)} vs "
+                f"{sorted(e.kind for e in b.escapes)})")
+    return "contracts differ"
+
+
+def analyze_contexts(contexts: Sequence[FileContext]) -> Analysis:
+    analysis = Analysis()
+    mods: List[ModuleInfo] = []
+    for ctx in contexts:
+        if "repro/kernels/" not in ctx.path.replace("\\", "/"):
+            continue
+        mod = scan_module(ctx)
+        if mod.registrations:
+            mods.append(mod)
+
+    # RL016: once a file opts into contracts, every registration in it
+    # must carry one (the real tier modules are always opted in).
+    for mod in mods:
+        if not any(r.contract is not None or r.contract_error
+                   for r in mod.registrations):
+            continue
+        for reg in mod.registrations:
+            if reg.contract is None and reg.contract_error is None:
+                analysis.findings.append(mod.ctx.finding(
+                    "RL016", reg.func,
+                    f"kernel {reg.kernel!r} ({reg.tier} tier) has no "
+                    f"@kernel_contract while other kernels in "
+                    f"{mod.ctx.path} declare one; every registration "
+                    f"in a contracted module needs its numeric "
+                    f"contract"))
+
+    # Per-kernel interval analysis.
+    for mod in mods:
+        for reg in mod.registrations:
+            if reg.contract is not None or reg.contract_error:
+                analyze_kernel(mod, reg, analysis)
+
+    # Cross-tier agreement + stale-escape audit.
+    by_kernel: Dict[str, Dict[str, Tuple[ModuleInfo,
+                                         Registration]]] = {}
+    for mod in mods:
+        for reg in mod.registrations:
+            by_kernel.setdefault(reg.kernel, {}).setdefault(
+                reg.tier, (mod, reg))
+    used_by: Dict[Tuple[str, str], Set[str]] = {}
+    for res in analysis.results:
+        used_by[(res.kernel, res.tier)] = set(res.escapes_used)
+    for kernel in sorted(by_kernel):
+        flavours = by_kernel[kernel]
+        if len(flavours) < 2:
+            continue
+        np_mod, np_reg = flavours.get("numpy", (None, None))
+        c_mod, c_reg = flavours.get("compiled", (None, None))
+        if np_reg is None or c_reg is None:
+            continue
+        has_np = np_reg.contract is not None
+        has_c = c_reg.contract is not None
+        if has_np != has_c:
+            mod, reg = (c_mod, c_reg) if has_np else (np_mod, np_reg)
+            other = "numpy" if has_np else "compiled"
+            analysis.findings.append(mod.ctx.finding(
+                "RL016", reg.func,
+                f"kernel {kernel!r}: the {other} tier declares a "
+                f"@kernel_contract but the {reg.tier} tier does not; "
+                f"both tiers must carry the identical contract"))
+            continue
+        if not has_np:
+            continue
+        if np_reg.contract.key() != c_reg.contract.key():
+            analysis.findings.append(c_mod.ctx.finding(
+                "RL016", c_reg.contract_node or c_reg.func,
+                f"kernel {kernel!r} tier contracts disagree: "
+                f"{_diff_contracts(np_reg.contract, c_reg.contract)}; "
+                f"set_tier swaps implementations freely, so the "
+                f"numeric contract must be identical on both tiers"))
+        # Stale escapes: judged only with both tiers analyzed, since
+        # an escape may legitimately fire on one tier only (the
+        # compiled trailing-zeros core uses a shift loop, not frexp).
+        declared = {e.kind for e in np_reg.contract.escapes}
+        used = used_by.get((kernel, "numpy"), set()) \
+            | used_by.get((kernel, "compiled"), set())
+        for kind in sorted(declared - used):
+            analysis.findings.append(np_mod.ctx.finding(
+                "RL015", np_reg.contract_node or np_reg.func,
+                f"kernel {kernel!r} declares a {kind!r} contract "
+                f"escape that fires on neither tier; stale escapes "
+                f"hide real lattice departures -- remove it or "
+                f"restore the op it excused"))
+    return analysis
+
+
+def analyze_program(program: Program) -> Analysis:
+    """The (cached) numeric analysis of a lint program."""
+    cached = getattr(program, "_numeric_analysis", None)
+    if cached is None:
+        cached = analyze_contexts(program.contexts)
+        program._numeric_analysis = cached
+    return cached
+
+
+def analyze_paths(paths: Sequence[str]) -> Analysis:
+    """Analyze on-disk files/directories (the CLI + stamp entry)."""
+    files = collect_files(paths)
+    root = find_project_root(files[0] if files else Path.cwd())
+    contexts = []
+    for path in files:
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+            display = rel.as_posix()
+        except ValueError:
+            display = path.as_posix()
+        contexts.append(make_context(
+            display, path.read_text(encoding="utf-8")))
+    return analyze_contexts(contexts)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+class NumericOverflow(Rule):
+    id = "RL013"
+    title = "numeric-overflow"
+    rationale = ("every intermediate in a contracted kernel must fit "
+                 "its dtype: the interval interpreter re-derives the "
+                 "29/32-bit limb bounds instead of trusting comments")
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        return analyze_program(program).findings_for(self.id)
+
+
+class ReturnIntervalHolds(Rule):
+    id = "RL014"
+    title = "return-interval-holds"
+    rationale = ("declared return intervals (canonical residues in "
+                 "[0, p)) and call-site argument intervals must be "
+                 "provable, not aspirational")
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        return analyze_program(program).findings_for(self.id)
+
+
+class NoUnmodeledEscape(Rule):
+    id = "RL015"
+    title = "no-unmodeled-escape"
+    rationale = ("any op leaving the exact int64/uint64 lattice (the "
+                 "frexp float64 trick) must be a declared, justified "
+                 "contract escape -- and declared escapes must still "
+                 "fire on some tier")
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        return analyze_program(program).findings_for(self.id)
+
+
+class CrossTierContractAgreement(Rule):
+    id = "RL016"
+    title = "cross-tier-contract-agreement"
+    rationale = ("both tiers of a kernel must declare the identical "
+                 "numeric contract (RL007's signature parity, "
+                 "extended to semantics)")
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        return analyze_program(program).findings_for(self.id)
+
+
+NUMERIC_RULES = [NumericOverflow(), ReturnIntervalHolds(),
+                 NoUnmodeledEscape(), CrossTierContractAgreement()]
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.lint.numeric
+# ---------------------------------------------------------------------------
+
+def render_analysis(analysis: Analysis) -> str:
+    lines = []
+    for res in sorted(analysis.results,
+                      key=lambda r: (r.kernel, r.tier)):
+        mark = "ok " if res.status == "proved" else "FAIL"
+        esc = ""
+        if res.escapes_declared:
+            esc = (f"  escapes {','.join(res.escapes_declared)}"
+                   f" used {','.join(res.escapes_used) or '-'}")
+        lines.append(f"  {mark} {res.kernel:<20} {res.tier:<8} "
+                     f"returns {res.derived_return} "
+                     f"(declared {res.declared_return}){esc}")
+    for f in sorted(analysis.findings,
+                    key=lambda f: (f.path, f.line, f.rule)):
+        lines.append(f.render())
+    counts = analysis.verdicts()
+    proved = counts.get("proved", 0)
+    total = len(analysis.results)
+    lines.append(f"{proved}/{total} kernel-tier proofs clean, "
+                 f"{len(analysis.findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.numeric",
+        description="Interval/dtype abstract interpreter for the "
+                    "kernel tiers (rules RL013-RL016).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories holding kernel "
+                             "tier modules (default: the repo's "
+                             "src/repro/kernels)")
+    parser.add_argument("--intervals-report", metavar="PATH",
+                        help="dump per-kernel derived intervals and "
+                             "verdicts as JSON to PATH ('-' for "
+                             "stdout)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt")
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        root = find_project_root(Path.cwd())
+        kernels = root / "src" / "repro" / "kernels"
+        if not kernels.is_dir():
+            kernels = find_project_root(
+                Path(__file__)) / "src" / "repro" / "kernels"
+        paths = [str(kernels)]
+    try:
+        analysis = analyze_paths(paths)
+    except (FileNotFoundError, ValueError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(json.dumps(analysis.to_json(), indent=2))
+    else:
+        print(render_analysis(analysis))
+    if args.intervals_report:
+        text = json.dumps(analysis.to_json(), indent=2) + "\n"
+        if args.intervals_report == "-":
+            print(text, end="")
+        else:
+            with open(args.intervals_report, "w",
+                      encoding="utf-8") as fh:
+                fh.write(text)
+    return 1 if analysis.findings else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -682,6 +682,7 @@ class KernelTierParity(Rule):
 #: :mod:`repro.lint.flow_rules`; the import sits at the bottom because
 #: flow_rules imports helpers defined above.
 from repro.lint.flow_rules import FLOW_RULES  # noqa: E402
+from repro.lint.numeric import NUMERIC_RULES  # noqa: E402
 
 ALL_RULES: List[Rule] = [
     SuppressionHygiene(),
@@ -693,4 +694,5 @@ ALL_RULES: List[Rule] = [
     HotPathPurity(),
     KernelTierParity(),
     *FLOW_RULES,
+    *NUMERIC_RULES,
 ]

@@ -1,0 +1,190 @@
+"""Kernel numeric contracts: boundary-value parity + runtime checks.
+
+The dynamic twin of the RL013-RL016 static proofs
+(``tests/test_lint_numeric.py``): the field kernels are checked
+against exact Python big-int arithmetic at the adversarial boundary
+inputs (0, 1, p-2, p-1, and full-broadcast shapes) on every available
+tier, and the ``REPRO_KERNELS_CHECK=1`` runtime wrapper is exercised
+end to end -- it must accept every in-contract call and raise
+:class:`~repro.errors.SketchError` naming the kernel and argument on
+a dtype or range violation.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.errors import SketchError
+from repro.kernels import checks, registry
+from repro.kernels.registry import MERSENNE_P
+
+P = MERSENNE_P
+
+TIERS = kernels.available_tiers()
+
+#: The adversarial residues: additive/multiplicative identities and
+#: the top of the canonical range, where limb folds and conditional
+#: subtracts change behaviour.
+BOUNDARY = (0, 1, P - 2, P - 1)
+
+
+@pytest.fixture(autouse=True)
+def _restore_tier():
+    before = kernels.active_tier()
+    yield
+    kernels.set_tier(before)
+
+
+def _u64(values):
+    return np.array(list(values), dtype=np.uint64)
+
+
+# ---------------------------------------------------------------------------
+# Boundary-value parity against Python big-int arithmetic
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("tier", TIERS)
+class TestBoundaryParity:
+    def test_mulmod_boundary_pairs(self, tier):
+        kernels.set_tier(tier)
+        pairs = list(itertools.product(BOUNDARY, BOUNDARY))
+        a = _u64(x for x, _ in pairs)
+        b = _u64(y for _, y in pairs)
+        got = kernels.mulmod_many(a, b)
+        want = [(x * y) % P for x, y in pairs]
+        assert got.dtype == np.uint64
+        assert [int(v) for v in got] == want
+
+    def test_addmod_boundary_pairs(self, tier):
+        kernels.set_tier(tier)
+        pairs = list(itertools.product(BOUNDARY, BOUNDARY))
+        a = _u64(x for x, _ in pairs)
+        b = _u64(y for _, y in pairs)
+        got = kernels.addmod_many(a, b)
+        want = [(x + y) % P for x, y in pairs]
+        assert got.dtype == np.uint64
+        assert [int(v) for v in got] == want
+
+    def test_powmod_boundary_bases_and_exponents(self, tier):
+        kernels.set_tier(tier)
+        for z in BOUNDARY:
+            exps = _u64((0, 1, 2, 61, 64, P - 2, P - 1))
+            got = kernels.powmod_many(exps, z)
+            want = [pow(z, int(e), P) for e in exps]
+            assert got.dtype == np.int64
+            assert [int(v) for v in got] == want, f"base {z}"
+
+    def test_combine_limbs_boundary(self, tier):
+        kernels.set_tier(tier)
+        halves = (0, 1, (1 << 32) - 2, (1 << 32) - 1)
+        pairs = list(itertools.product(halves, halves))
+        lo = np.array([x for x, _ in pairs], dtype=np.int64)
+        hi = np.array([y for _, y in pairs], dtype=np.int64)
+        got = kernels.combine_limbs(lo, hi)
+        want = [(x + (y << 32)) % P for x, y in pairs]
+        assert got.dtype == np.int64
+        assert [int(v) for v in got] == want
+
+    def test_mulmod_addmod_full_broadcast(self, tier):
+        kernels.set_tier(tier)
+        col = _u64(BOUNDARY).reshape(-1, 1)
+        row = _u64(BOUNDARY).reshape(1, -1)
+        got_mul = kernels.mulmod_many(col, row)
+        got_add = kernels.addmod_many(col, row)
+        assert got_mul.shape == got_add.shape == (4, 4)
+        for i, x in enumerate(BOUNDARY):
+            for j, y in enumerate(BOUNDARY):
+                assert int(got_mul[i, j]) == (x * y) % P
+                assert int(got_add[i, j]) == (x + y) % P
+
+    def test_results_stay_canonical(self, tier):
+        kernels.set_tier(tier)
+        rng = np.random.default_rng(20260808)
+        a = rng.integers(0, P, size=4096, dtype=np.uint64)
+        b = rng.integers(0, P, size=4096, dtype=np.uint64)
+        for out in (kernels.mulmod_many(a, b),
+                    kernels.addmod_many(a, b)):
+            assert int(out.min()) >= 0
+            assert int(out.max()) < P
+
+
+# ---------------------------------------------------------------------------
+# The REPRO_KERNELS_CHECK runtime wrapper
+# ---------------------------------------------------------------------------
+
+class TestRuntimeContractChecks:
+    def _checked(self, name):
+        impl = registry.numpy_table()[name]
+        return checks.wrap(name, impl)
+
+    def test_in_contract_calls_pass(self):
+        mulmod = self._checked("mulmod_many")
+        a = _u64(BOUNDARY)
+        out = mulmod(a, a)
+        assert [int(v) for v in out] == [(x * x) % P for x in BOUNDARY]
+
+    def test_out_of_range_argument_raises(self):
+        mulmod = self._checked("mulmod_many")
+        bad = _u64((P,))  # non-canonical: p itself
+        with pytest.raises(SketchError) as err:
+            mulmod(bad, _u64((1,)))
+        msg = str(err.value)
+        assert "mulmod_many" in msg
+        assert "'a'" in msg
+        assert str(P) in msg
+
+    def test_wrong_dtype_raises(self):
+        addmod = self._checked("addmod_many")
+        with pytest.raises(SketchError) as err:
+            addmod(np.array([1, 2], dtype=np.int64), _u64((1, 2)))
+        assert "dtype" in str(err.value)
+        assert "uint64" in str(err.value)
+
+    def test_scalar_argument_range_checked(self):
+        powmod = self._checked("powmod_many")
+        with pytest.raises(SketchError) as err:
+            powmod(_u64((1, 2)), -1)  # z declared pyint[0, 2^62]
+        assert "powmod_many" in str(err.value)
+        assert "'z'" in str(err.value)
+
+    def test_violating_return_is_reported(self):
+        # A stand-in registered under a residue contract but returning
+        # a non-canonical value: the return check must catch it.
+        contract = registry.contract_for("mulmod_many")
+
+        def dishonest(a, b):
+            return a + b  # up to 2(p-1): not reduced
+
+        dishonest.__kernel_contract__ = contract
+        wrapped = checks.wrap("dishonest_demo", dishonest)
+        with pytest.raises(SketchError) as err:
+            wrapped(_u64((P - 1,)), _u64((P - 1,)))
+        assert "return value" in str(err.value)
+
+    def test_uncontracted_kernel_passes_through(self):
+        def plain(a):
+            return a
+
+        assert checks.wrap("plain_demo", plain) is plain
+
+    def test_env_knob_validated(self, monkeypatch):
+        from repro.mpc.config import env_int
+
+        monkeypatch.setenv(checks.ENV_CHECK, "yes")
+        with pytest.raises(SketchError) as err:
+            env_int(checks.ENV_CHECK, 0)
+        assert checks.ENV_CHECK in str(err.value)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_every_tier_table_is_fully_contracted(self, tier):
+        table = (registry.numpy_table() if tier == "numpy"
+                 else registry.compiled_table())
+        for name, impl in sorted(table.items()):
+            contract = getattr(impl, "__kernel_contract__", None)
+            assert contract is not None, \
+                f"kernel {name!r} ({tier}) has no @kernel_contract"
+            wrapped = checks.wrap(name, impl)
+            assert wrapped is not impl, \
+                f"checks.wrap ignored contracted kernel {name!r}"

@@ -1,0 +1,196 @@
+"""The RL013-RL016 numeric abstract interpreter, on the real kernels.
+
+Three layers:
+
+* the acceptance gate -- the analyzer proves all ten kernels
+  overflow-free and residue-canonical on both tier modules, zero
+  findings (this doubles as the CI smoke test);
+* seeded single-token mutations -- a dropped ``& _MASK32``, a widened
+  ``_U29`` shift, a removed ``% MERSENNE_P`` -- are each caught with a
+  readable interval-violation counterexample;
+* the report plumbing -- ``--intervals-report`` JSON shape and the
+  ``python -m repro.lint.numeric`` exit codes CI keys on.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULE_PACK_VERSION
+from repro.lint.engine import lint_source, make_context
+from repro.lint.numeric import analyze_contexts, analyze_paths, main
+
+ROOT = Path(__file__).resolve().parents[1]
+KERNELS = ROOT / "src" / "repro" / "kernels"
+NUMPY_TIER = KERNELS / "numpy_tier.py"
+COMPILED_TIER = KERNELS / "compiled_tier.py"
+
+VPATH = "src/repro/kernels/numpy_tier.py"
+
+
+def _analyze(source, vpath=VPATH):
+    return analyze_contexts([make_context(vpath, source)])
+
+
+@pytest.fixture(scope="module")
+def numpy_src():
+    return NUMPY_TIER.read_text(encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gate: the real kernel set proves clean
+# ---------------------------------------------------------------------------
+
+class TestRealKernelsProveClean:
+    def test_both_tiers_zero_findings(self):
+        analysis = analyze_paths([str(KERNELS)])
+        assert analysis.findings == [], "\n".join(
+            f.render() for f in analysis.findings)
+
+    def test_all_ten_kernels_proved_on_both_tiers(self):
+        analysis = analyze_paths([str(KERNELS)])
+        proved = {(r.kernel, r.tier) for r in analysis.results
+                  if r.status == "proved"}
+        kernels = {k for k, _ in proved}
+        assert len(kernels) == 10
+        for kernel in kernels:
+            assert (kernel, "numpy") in proved
+            assert (kernel, "compiled") in proved
+
+    def test_residue_kernels_prove_canonical_range(self):
+        analysis = analyze_paths([str(KERNELS)])
+        by_key = {(r.kernel, r.tier): r for r in analysis.results}
+        for kernel in ("mulmod_many", "addmod_many", "powmod_many",
+                       "combine_limbs"):
+            for tier in ("numpy", "compiled"):
+                res = by_key[(kernel, tier)]
+                assert "residue" in res.declared_return
+                assert "2305843009213693950" in res.derived_return
+
+    def test_full_lint_pack_clean_on_tier_sources(self, numpy_src):
+        findings = lint_source(numpy_src, VPATH)
+        assert findings == [], "\n".join(
+            f.render() for f in findings)
+        compiled_src = COMPILED_TIER.read_text(encoding="utf-8")
+        findings = lint_source(
+            compiled_src, "src/repro/kernels/compiled_tier.py")
+        assert findings == [], "\n".join(
+            f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Seeded mutations: each caught with a readable counterexample
+# ---------------------------------------------------------------------------
+
+class TestSeededMutations:
+    def test_dropped_mask_reports_overflowing_product(self, numpy_src):
+        assert "& _MASK32" in numpy_src
+        mutated = numpy_src.replace("& _MASK32", "", 1)
+        analysis = _analyze(mutated)
+        overflows = [f for f in analysis.findings if f.rule == "RL013"]
+        assert overflows, "dropped mask went unnoticed"
+        msg = overflows[0].message
+        # The counterexample names the op, the derived interval, and
+        # the violated dtype bound.
+        assert "mulmod_many" in msg
+        assert "exceeds uint64" in msg
+        assert "18446744073709551615" in msg
+
+    def test_widened_shift_reports_unresolved_constant(self, numpy_src):
+        assert "mid >> _U29" in numpy_src
+        mutated = numpy_src.replace("mid >> _U29", "mid >> _U30", 1)
+        analysis = _analyze(mutated)
+        fired = {f.rule for f in analysis.findings}
+        assert "RL013" in fired
+        assert any("_U30" in f.message for f in analysis.findings)
+        # And the return proof collapses with it.
+        assert "RL014" in fired
+
+    def test_dropped_reduction_reports_return_violation(self,
+                                                        numpy_src):
+        needle = "return (lo_m + shifted) % MERSENNE_P"
+        assert needle in numpy_src
+        mutated = numpy_src.replace(
+            needle, "return (lo_m + shifted)", 1)
+        analysis = _analyze(mutated)
+        violations = [f for f in analysis.findings
+                      if f.rule == "RL014"]
+        assert violations, "missing mod-p reduction went unnoticed"
+        msg = violations[0].message
+        assert "combine_limbs" in msg
+        assert "not contained" in msg
+
+    def test_mutations_fire_through_the_rule_pack(self, numpy_src):
+        mutated = numpy_src.replace("& _MASK32", "", 1)
+        findings = lint_source(mutated, VPATH)
+        assert "RL013" in {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# Report shape and CLI
+# ---------------------------------------------------------------------------
+
+class TestReportAndCli:
+    def test_intervals_report_shape(self):
+        analysis = analyze_paths([str(KERNELS)])
+        payload = analysis.to_json()
+        assert payload["rule_pack"] == RULE_PACK_VERSION
+        assert payload["findings"] == []
+        assert payload["verdicts"] == {"proved": 20}
+        assert set(payload["kernels"]) == {
+            "mulmod_many", "addmod_many", "poly_field_values",
+            "trailing_zeros_many", "powmod_many", "combine_limbs",
+            "pool_scatter", "decode_prefix", "merge_groups",
+            "is_zero_cells"}
+        entry = payload["kernels"]["mulmod_many"]["numpy"]
+        for key in ("status", "declared_return", "derived_return",
+                    "args", "escapes_declared", "escapes_used"):
+            assert key in entry
+        tz = payload["kernels"]["trailing_zeros_many"]
+        assert tz["numpy"]["escapes_used"] == ["float64", "wrap"]
+        assert tz["compiled"]["escapes_used"] == []
+
+    def test_main_clean_exit_and_report_file(self, tmp_path, capsys):
+        report = tmp_path / "intervals.json"
+        code = main([str(KERNELS),
+                     "--intervals-report", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "20/20 kernel-tier proofs clean" in out
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["verdicts"] == {"proved": 20}
+
+    def test_main_reports_findings_with_exit_one(self, tmp_path,
+                                                 numpy_src, capsys):
+        mutated = numpy_src.replace("& _MASK32", "", 1)
+        bad = tmp_path / "src" / "repro" / "kernels"
+        bad.mkdir(parents=True)
+        (bad / "numpy_tier.py").write_text(mutated, encoding="utf-8")
+        code = main([str(bad)])
+        assert code == 1
+        assert "RL013" in capsys.readouterr().out
+
+    def test_main_bad_path_exits_two(self, capsys):
+        assert main([str(ROOT / "no-such-dir")]) == 2
+
+    def test_module_smoke(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint.numeric",
+             str(KERNELS)],
+            capture_output=True, text=True, cwd=ROOT,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin"})
+        assert proc.returncode == 0, proc.stderr
+        assert "20/20 kernel-tier proofs clean" in proc.stdout
+
+    def test_lint_main_intervals_report(self, tmp_path):
+        from repro.lint.__main__ import main as lint_main
+
+        report = tmp_path / "intervals.json"
+        code = lint_main([str(KERNELS),
+                          "--intervals-report", str(report)])
+        assert code == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["verdicts"] == {"proved": 20}
